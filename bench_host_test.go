@@ -1,0 +1,51 @@
+package vfreq
+
+import (
+	"fmt"
+
+	"vfreq/internal/platform"
+)
+
+// scriptHost is a minimal scriptable platform.Host used by the estimator
+// benchmarks to feed exact consumption patterns to the controller.
+type scriptHost struct {
+	node  platform.NodeInfo
+	vms   []platform.VMInfo
+	usage map[string]int64
+}
+
+func newScriptHost(cores int, maxMHz int64) *scriptHost {
+	return &scriptHost{
+		node:  platform.NodeInfo{Name: "script", Cores: cores, MaxFreqMHz: maxMHz},
+		usage: map[string]int64{},
+	}
+}
+
+func (s *scriptHost) addVM(name string, vcpus int, freqMHz int64) {
+	s.vms = append(s.vms, platform.VMInfo{Name: name, VCPUs: vcpus, FreqMHz: freqMHz})
+	for j := 0; j < vcpus; j++ {
+		s.usage[fmt.Sprintf("%s/%d", name, j)] = 0
+	}
+}
+
+func (s *scriptHost) consume(vm string, j int, us int64) {
+	s.usage[fmt.Sprintf("%s/%d", vm, j)] += us
+}
+
+func (s *scriptHost) Node() platform.NodeInfo             { return s.node }
+func (s *scriptHost) ListVMs() ([]platform.VMInfo, error) { return s.vms, nil }
+
+func (s *scriptHost) UsageUs(vm string, j int) (int64, error) {
+	u, ok := s.usage[fmt.Sprintf("%s/%d", vm, j)]
+	if !ok {
+		return 0, fmt.Errorf("no vcpu %s/%d", vm, j)
+	}
+	return u, nil
+}
+
+func (s *scriptHost) SetMax(vm string, j int, quotaUs, periodUs int64) error { return nil }
+func (s *scriptHost) ClearMax(vm string, j int) error                        { return nil }
+func (s *scriptHost) SetBurst(vm string, j int, burstUs int64) error         { return nil }
+func (s *scriptHost) ThreadID(vm string, j int) (int, error)                 { return 1, nil }
+func (s *scriptHost) LastCPU(tid int) (int, error)                           { return 0, nil }
+func (s *scriptHost) CoreFreqMHz(core int) (int64, error)                    { return s.node.MaxFreqMHz, nil }

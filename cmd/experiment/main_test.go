@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// Every artefact id must run without error at a tiny scale. This is the
+// end-to-end smoke test for the reproduction harness.
+func TestAllArtefactsRun(t *testing.T) {
+	for _, id := range order {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			scale := 0.02
+			if id == "fig10" || id == "fig11" || id == "fig14" {
+				scale = 0.01 // the efficiency runs are the longest
+			}
+			if err := run(id, scale, false, 40); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+		})
+	}
+}
+
+func TestUnknownArtefact(t *testing.T) {
+	if err := run("fig99", 0.1, false, 40); err == nil {
+		t.Fatal("unknown artefact accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	if err := run("fig7", 0.02, true, 40); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseKindCount(t *testing.T) {
+	kind, n, err := parseKindCount(" small:25 ")
+	if err != nil || kind != "small" || n != 25 {
+		t.Fatalf("got %q %d %v", kind, n, err)
+	}
+	for _, bad := range []string{"small", "small:x", "small:0", "small:-1", "a:b:c"} {
+		if _, _, err := parseKindCount(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := parseNodes("chetemi:2,chiclet:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	if nodes[0].Name != "chetemi" || nodes[0].Cores != 40 {
+		t.Fatalf("chetemi spec wrong: %+v", nodes[0])
+	}
+	if nodes[2].Name != "chiclet" || nodes[2].Cores != 64 {
+		t.Fatalf("chiclet spec wrong: %+v", nodes[2])
+	}
+	if _, err := parseNodes("cray:1"); err == nil {
+		t.Fatal("unknown node kind accepted")
+	}
+}
+
+func TestParseVMs(t *testing.T) {
+	vms, err := parseVMs("small:2,medium:1,large:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 4 {
+		t.Fatalf("got %d VMs", len(vms))
+	}
+	if vms[0].FreqMHz != 500 || vms[2].FreqMHz != 1200 || vms[3].FreqMHz != 1800 {
+		t.Fatal("template frequencies wrong")
+	}
+	if vms[0].Name == vms[1].Name {
+		t.Fatal("duplicate VM names")
+	}
+	if _, err := parseVMs("huge:1"); err == nil {
+		t.Fatal("unknown VM kind accepted")
+	}
+}

@@ -1,0 +1,339 @@
+// Command vfctl runs the virtual-frequency controller.
+//
+// Simulation mode (default) takes a JSON scenario describing a node and
+// its VMs, runs the controller against the simulated host, and streams a
+// CSV with one row per control period: the monitored virtual frequency of
+// every VM, the market size and the credit wallets.
+//
+//	vfctl -config scenario.json [-csv out.csv]
+//	vfctl -example            # print a scenario skeleton and exit
+//
+// Linux mode drives a real host through cgroup v2 (requires root and a
+// libvirt-style machine.slice). VM virtual frequencies come from the same
+// scenario file; the controller then applies real cpu.max quotas every
+// period.
+//
+//	sudo vfctl -linux -config scenario.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vfreq/internal/core"
+	"vfreq/internal/host"
+	"vfreq/internal/platform"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+// Scenario is the JSON configuration of a vfctl run.
+type Scenario struct {
+	// Node is "chetemi", "chiclet", or a custom spec below.
+	Node string `json:"node"`
+	// Custom node spec, used when Node is empty.
+	Cores    int   `json:"cores,omitempty"`
+	MaxMHz   int64 `json:"max_mhz,omitempty"`
+	MemoryGB int   `json:"memory_gb,omitempty"`
+
+	DurationS int  `json:"duration_s"`
+	Control   bool `json:"control"`
+
+	// Controller overrides (zero values keep the paper defaults).
+	IncreaseTrigger float64 `json:"increase_trigger,omitempty"`
+	IncreaseFactor  float64 `json:"increase_factor,omitempty"`
+	DecreaseTrigger float64 `json:"decrease_trigger,omitempty"`
+	DecreaseFactor  float64 `json:"decrease_factor,omitempty"`
+
+	VMs []ScenarioVM `json:"vms"`
+}
+
+// ScenarioVM describes one VM of the scenario.
+type ScenarioVM struct {
+	Name     string `json:"name"`
+	VCPUs    int    `json:"vcpus"`
+	FreqMHz  int64  `json:"freq_mhz"`
+	MemoryGB int    `json:"memory_gb"`
+	// Workload: "busy", "idle", "compress", "openssl",
+	// "bursty:<periodS>:<duty>".
+	Workload string `json:"workload"`
+	StartS   int    `json:"start_s,omitempty"`
+	// Work per benchmark run in Gcycles (compress/openssl only).
+	GCycles int64 `json:"gcycles,omitempty"`
+	Runs    int   `json:"runs,omitempty"`
+}
+
+const exampleScenario = `{
+  "node": "chetemi",
+  "duration_s": 120,
+  "control": true,
+  "vms": [
+    {"name": "web", "vcpus": 2, "freq_mhz": 500, "memory_gb": 2, "workload": "bursty:20:0.3"},
+    {"name": "batch", "vcpus": 4, "freq_mhz": 1800, "memory_gb": 8, "workload": "compress", "gcycles": 30, "runs": 10, "start_s": 10},
+    {"name": "crypto", "vcpus": 4, "freq_mhz": 1200, "memory_gb": 4, "workload": "openssl", "gcycles": 60, "runs": 1}
+  ]
+}`
+
+func main() {
+	cfgPath := flag.String("config", "", "scenario JSON file")
+	csvPath := flag.String("csv", "", "write the per-period CSV here instead of stdout")
+	snapPath := flag.String("snapshot", "", "write the final controller state as JSON here")
+	example := flag.Bool("example", false, "print an example scenario and exit")
+	linux := flag.Bool("linux", false, "drive the real host via cgroup v2 instead of the simulator")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleScenario)
+		return
+	}
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "vfctl: -config is required (try -example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		fatal(fmt.Errorf("parsing scenario: %w", err))
+	}
+	if sc.DurationS <= 0 {
+		fatal(fmt.Errorf("scenario: duration_s must be positive"))
+	}
+	if *linux {
+		err = runLinux(sc)
+	} else {
+		err = runSim(sc, *csvPath, *snapPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vfctl:", err)
+	os.Exit(1)
+}
+
+func nodeSpec(sc Scenario) (host.Spec, error) {
+	switch sc.Node {
+	case "chetemi":
+		return host.Chetemi(), nil
+	case "chiclet":
+		return host.Chiclet(), nil
+	case "":
+		spec := host.Chetemi() // power/DVFS defaults
+		spec.Name = "custom"
+		spec.Cores = sc.Cores
+		spec.MaxMHz = sc.MaxMHz
+		spec.MemoryGB = sc.MemoryGB
+		return spec, spec.Validate()
+	default:
+		return host.Spec{}, fmt.Errorf("unknown node %q", sc.Node)
+	}
+}
+
+func buildWorkload(v ScenarioVM) ([]workload.Source, error) {
+	startUs := int64(v.StartS) * 1_000_000
+	kind := v.Workload
+	switch {
+	case kind == "busy":
+		srcs := make([]workload.Source, v.VCPUs)
+		for i := range srcs {
+			srcs[i] = &workload.Delayed{StartUs: startUs, Inner: workload.Busy()}
+		}
+		return srcs, nil
+	case kind == "idle" || kind == "":
+		return nil, nil
+	case kind == "compress" || kind == "openssl":
+		g := v.GCycles
+		if g <= 0 {
+			g = 30
+		}
+		runs := v.Runs
+		if runs <= 0 {
+			runs = 1
+		}
+		var b *workload.Bench
+		var err error
+		if kind == "compress" {
+			b, err = workload.NewCompress7zip(v.VCPUs, g*1_000_000_000, runs, startUs)
+		} else {
+			b, err = workload.NewOpenSSL(v.VCPUs, g*1_000_000_000, runs, startUs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return b.Sources(), nil
+	case strings.HasPrefix(kind, "bursty:"):
+		var periodS int
+		var duty float64
+		if _, err := fmt.Sscanf(kind, "bursty:%d:%f", &periodS, &duty); err != nil {
+			return nil, fmt.Errorf("bad bursty spec %q (want bursty:<periodS>:<duty>)", kind)
+		}
+		srcs := make([]workload.Source, v.VCPUs)
+		for i := range srcs {
+			srcs[i] = &workload.Delayed{StartUs: startUs, Inner: &workload.Bursty{
+				PeriodUs: int64(periodS) * 1_000_000, Duty: duty, High: 1, Low: 0.02,
+			}}
+		}
+		return srcs, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}
+
+func controllerConfig(sc Scenario) core.Config {
+	cfg := core.DefaultConfig()
+	if sc.IncreaseTrigger > 0 {
+		cfg.IncreaseTrigger = sc.IncreaseTrigger
+	}
+	if sc.IncreaseFactor > 0 {
+		cfg.IncreaseFactor = sc.IncreaseFactor
+	}
+	if sc.DecreaseTrigger > 0 {
+		cfg.DecreaseTrigger = sc.DecreaseTrigger
+	}
+	if sc.DecreaseFactor > 0 {
+		cfg.DecreaseFactor = sc.DecreaseFactor
+	}
+	cfg.ControlEnabled = sc.Control
+	return cfg
+}
+
+func runSim(sc Scenario, csvPath, snapPath string) error {
+	spec, err := nodeSpec(sc)
+	if err != nil {
+		return err
+	}
+	machine, err := host.New(spec)
+	if err != nil {
+		return err
+	}
+	mgr, err := vm.NewManager(machine)
+	if err != nil {
+		return err
+	}
+	for _, v := range sc.VMs {
+		srcs, err := buildWorkload(v)
+		if err != nil {
+			return fmt.Errorf("VM %q: %w", v.Name, err)
+		}
+		mem := v.MemoryGB
+		if mem == 0 {
+			mem = 1
+		}
+		tpl := vm.Template{Name: v.Name, VCPUs: v.VCPUs, FreqMHz: v.FreqMHz, MemoryGB: mem}
+		if _, err := mgr.Provision(v.Name, tpl, srcs); err != nil {
+			return err
+		}
+	}
+	ctrl, err := core.New(platform.NewSim(mgr), controllerConfig(sc))
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	fmt.Fprint(out, "time_s")
+	for _, v := range sc.VMs {
+		fmt.Fprintf(out, ",%s_mhz,%s_credit", v.Name, v.Name)
+	}
+	fmt.Fprintln(out, ",market_us,energy_j")
+	period := ctrl.Config().PeriodUs
+	var prevEnergy float64
+	for step := 0; step < sc.DurationS; step++ {
+		snaps := map[string][]int64{}
+		for _, inst := range mgr.List() {
+			snaps[inst.Name()] = inst.SnapshotCycles()
+		}
+		machine.Advance(period)
+		if err := ctrl.Step(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d", step+1)
+		var caps int64
+		for _, v := range sc.VMs {
+			inst := mgr.Get(v.Name)
+			f := inst.MeanVCPUFreqMHz(snaps[v.Name], period)
+			var credit int64
+			if st := ctrl.VM(v.Name); st != nil {
+				credit = st.CreditUs
+				for _, vc := range st.VCPUs {
+					caps += vc.CapUs
+				}
+			}
+			fmt.Fprintf(out, ",%.0f,%d", f, credit)
+		}
+		market := ctrl.CapacityUs() - caps
+		e := machine.Meter.Joules()
+		fmt.Fprintf(out, ",%d,%.0f\n", market, e-prevEnergy)
+		prevEnergy = e
+	}
+	fmt.Fprintf(os.Stderr, "vfctl: %d periods, controller avg step %v\n",
+		ctrl.Steps(), ctrl.LastTimings().Total)
+	if snapPath != "" {
+		raw, err := ctrl.Snapshot().JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runLinux drives a real host: same controller, real files, wall-clock
+// periods.
+func runLinux(sc Scenario) error {
+	freqs := map[string]int64{}
+	for _, v := range sc.VMs {
+		freqs[v.Name] = v.FreqMHz
+	}
+	h, err := platform.NewLinux(freqs)
+	if err != nil {
+		return fmt.Errorf("linux backend: %w", err)
+	}
+	ctrl, err := core.New(h, controllerConfig(sc))
+	if err != nil {
+		return err
+	}
+	period := time.Duration(ctrl.Config().PeriodUs) * time.Microsecond
+	fmt.Printf("vfctl: controlling %d-core node %s (F_MAX %d MHz), period %v\n",
+		h.Node().Cores, h.Node().Name, h.Node().MaxFreqMHz, period)
+	for step := 0; step < sc.DurationS; step++ {
+		start := time.Now()
+		if err := ctrl.Step(); err != nil {
+			return err
+		}
+		for _, st := range ctrl.VMs() {
+			var mhz float64
+			for _, vc := range st.VCPUs {
+				mhz += vc.FreqMHz
+			}
+			if n := len(st.VCPUs); n > 0 {
+				mhz /= float64(n)
+			}
+			fmt.Printf("t=%-4d %-20s %6.0f MHz (guarantee %d MHz, credits %d)\n",
+				step+1, st.Info.Name, mhz, st.Info.FreqMHz, st.CreditUs)
+		}
+		// Sleep p − spent, as §III-B6 prescribes.
+		if spent := time.Since(start); spent < period {
+			time.Sleep(period - spent)
+		}
+	}
+	return nil
+}

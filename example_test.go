@@ -1,0 +1,101 @@
+package vfreq_test
+
+import (
+	"fmt"
+	"log"
+
+	"vfreq"
+)
+
+// The smallest possible controlled node: one VM whose template frequency
+// becomes a cgroup quota. The guarantee C_i of Eq. 2 is p·F_v/F_max.
+func Example() {
+	spec := vfreq.Chetemi()
+	spec.Cores = 2
+	machine, err := vfreq.NewMachine(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := vfreq.NewManager(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mgr.Provision("web", vfreq.Small(), nil); err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := vfreq.NewController(vfreq.NewSimHost(mgr), vfreq.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine.Advance(ctrl.Config().PeriodUs)
+	if err := ctrl.Step(); err != nil {
+		log.Fatal(err)
+	}
+	st := ctrl.VM("web")
+	fmt.Printf("template: %d MHz on a %d MHz node\n", st.Info.FreqMHz, ctrl.Node().MaxFreqMHz)
+	fmt.Printf("guarantee C_i: %d µs per %d µs period\n", st.GuaranteeUs, ctrl.Config().PeriodUs)
+	// Output:
+	// template: 500 MHz on a 2400 MHz node
+	// guarantee C_i: 208333 µs per 1000000 µs period
+}
+
+// Placement under the paper's Eq. 7: a 3 GHz core hosts three 1 GHz
+// vCPUs — the §III-C example.
+func ExamplePlace() {
+	nodes := []vfreq.PlacementNode{{
+		Name: "n", Cores: 1, MaxFreqMHz: 3000, MemoryGB: 8,
+		IdleWatts: 100, MaxWatts: 200,
+	}}
+	var vms []vfreq.PlacementVM
+	for i := 0; i < 4; i++ {
+		vms = append(vms, vfreq.PlacementVM{
+			Name: fmt.Sprintf("vm%d", i), Template: "tiny",
+			VCPUs: 1, FreqMHz: 1000, MemoryGB: 1,
+		})
+	}
+	res, err := vfreq.Place(vfreq.BestFit, nodes, vms,
+		vfreq.PlacementPolicy{Mode: vfreq.VirtualFrequency, Factor: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d of %d (3 × 1 GHz fit a 3 GHz core)\n",
+		len(vms)-len(res.Unplaced), len(vms))
+	// Output:
+	// placed 3 of 4 (3 × 1 GHz fit a 3 GHz core)
+}
+
+// Templates carry the paper's virtual frequency as a first-class
+// dimension next to vCPUs and memory.
+func ExampleTemplate() {
+	for _, tpl := range []vfreq.Template{vfreq.Small(), vfreq.Medium(), vfreq.Large()} {
+		fmt.Printf("%-6s %d vCPU @ %4d MHz, %d GB\n",
+			tpl.Name, tpl.VCPUs, tpl.FreqMHz, tpl.MemoryGB)
+	}
+	// Output:
+	// small  2 vCPU @  500 MHz, 2 GB
+	// medium 4 vCPU @ 1200 MHz, 4 GB
+	// large  4 vCPU @ 1800 MHz, 8 GB
+}
+
+// A benchmark workload scores itself in runs; the rate is the effective
+// frequency (cycles per microsecond = MHz).
+func ExampleNewOpenSSL() {
+	bench, err := vfreq.NewOpenSSL(1, 2_000_000, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := bench.Thread(0)
+	now := int64(0)
+	for !bench.Done() {
+		if src.Demand(now, 1000) == 1 {
+			src.Account(now, 1000, 2000) // 1 ms at 2000 MHz
+		}
+		now += 1000
+	}
+	for _, run := range bench.Results() {
+		fmt.Printf("run %d: %.0f MHz\n", run.Run+1, run.RateMHz())
+	}
+	// Output:
+	// run 1: 2000 MHz
+	// run 2: 2000 MHz
+}

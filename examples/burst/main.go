@@ -1,0 +1,92 @@
+// Burst: the credit economy of the controller (Eq. 4 + Algorithm 1).
+//
+// A low-frequency "dev" VM idles for 30 s, earning credits because it
+// consumes less than its guarantee. When its workload arrives, it spends
+// those credits at the cycle auction to burst far beyond its 500 MHz
+// guarantee — as long as spare cycles exist — then falls back to the
+// guarantee once the wallet empties or the market tightens. This is the
+// paper's answer to the fixed Burst-VM templates of EC2/Azure: the burst
+// budget follows actual under-consumption, not a pricing table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vfreq"
+)
+
+func main() {
+	// A 2-core node at 2.4 GHz; one neighbour VM keeps the node from
+	// being trivially idle.
+	spec := vfreq.Chetemi()
+	spec.Name = "burst-demo"
+	spec.Cores = 2
+	machine, err := vfreq.NewMachine(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := vfreq.NewManager(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// dev: 1 vCPU guaranteed 500 MHz, idle for the first 30 s, then a
+	// compile-like full-CPU burst.
+	devTpl := vfreq.Template{Name: "dev", VCPUs: 1, FreqMHz: 500, MemoryGB: 2}
+	devBench, err := vfreq.NewOpenSSL(1, 60_000_000_000, 1, 30_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := mgr.Provision("dev", devTpl, devBench.Sources())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// prod: 2 vCPUs guaranteed 1500 MHz, always busy. Guarantees sum
+	// to 1×500 + 2×1500 = 3.5 GHz of the node's 4.8 GHz.
+	prodTpl := vfreq.Template{Name: "prod", VCPUs: 2, FreqMHz: 1500, MemoryGB: 4}
+	prod, err := mgr.Provision("prod", prodTpl,
+		[]vfreq.Workload{vfreq.Busy(), vfreq.Busy()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctrl, err := vfreq.NewController(vfreq.NewSimHost(mgr), vfreq.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sec   dev MHz   dev credits(Ms)   prod MHz")
+	period := ctrl.Config().PeriodUs
+	for sec := 1; sec <= 60; sec++ {
+		devSnap, prodSnap := dev.SnapshotCycles(), prod.SnapshotCycles()
+		machine.Advance(period)
+		if err := ctrl.Step(); err != nil {
+			log.Fatal(err)
+		}
+		var credits int64
+		if st := ctrl.VM("dev"); st != nil {
+			credits = st.CreditUs
+		}
+		marker := ""
+		switch sec {
+		case 30:
+			marker = "  <- dev workload starts"
+		case 1:
+			marker = "  <- dev idle, earning credits"
+		}
+		if sec%5 == 0 || sec == 1 || (sec > 28 && sec < 40) {
+			fmt.Printf("%3d   %7.0f   %15.1f   %8.0f%s\n",
+				sec,
+				dev.MeanVCPUFreqMHz(devSnap, period),
+				float64(credits)/1e6,
+				prod.MeanVCPUFreqMHz(prodSnap, period),
+				marker)
+		}
+	}
+	fmt.Println("\nWhile idle, dev earned ~0.2 Mcycles of credit per second")
+	fmt.Println("(its unconsumed guarantee). At t=30 it spends them at the")
+	fmt.Println("auction, bursting above 500 MHz without hurting prod's")
+	fmt.Println("1500 MHz guarantee.")
+}

@@ -1,0 +1,39 @@
+// Heterogeneous: a scaled-down rendition of the paper's second evaluation
+// (Table V / Fig. 13). Three VM classes with different virtual
+// frequencies and different benchmarks share one node; the controller
+// holds each class at its own plateau, and when the openssl class
+// finishes, its freed cycles flow to the others through the auction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vfreq"
+)
+
+func main() {
+	// The paper's Table V workload at 1/10 time scale: 14 small
+	// (compress-7zip), 8 medium (openssl, +10 s), 6 large
+	// (compress-7zip, +20 s) on chetemi.
+	exp := vfreq.ScaleExperiment(vfreq.Fig13(), 0.1)
+	res, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Rec.Chart(
+		"Three virtual-frequency plateaus on one node (MHz over seconds)",
+		[]string{"small", "medium", "large"}, 72, 14))
+
+	dur := float64(exp.DurationUs) / 1e6
+	fmt.Printf("\nplateau medians while all classes run: small=%.0f, medium=%.0f, large=%.0f MHz\n",
+		res.Rec.Series("small").MedianRange(dur*0.45, dur*0.62),
+		res.Rec.Series("medium").MedianRange(dur*0.45, dur*0.62),
+		res.Rec.Series("large").MedianRange(dur*0.45, dur*0.62))
+	fmt.Printf("after openssl completes:               small=%.0f,            large=%.0f MHz\n",
+		res.Rec.Series("small").MedianRange(dur*0.8, dur),
+		res.Rec.Series("large").MedianRange(dur*0.8, dur))
+	fmt.Printf("\ncontroller cost per period: %v (monitoring %v)\n", res.AvgStep, res.AvgMonitor)
+	fmt.Printf("node energy: %.0f kJ over %.0f s\n", res.EnergyJoules/1000, dur)
+}

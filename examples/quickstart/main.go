@@ -1,0 +1,81 @@
+// Quickstart: provision two VMs with different virtual frequencies on a
+// simulated node, run the controller, and watch each VM receive exactly
+// the frequency its template promises — something the stock CFS scheduler
+// cannot do.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vfreq"
+)
+
+func main() {
+	// Boot a simulated node: the paper's chetemi (40 logical CPUs at
+	// 2.4 GHz).
+	machine, err := vfreq.NewMachine(vfreq.Chetemi())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := vfreq.NewManager(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A "web" VM guaranteed 500 MHz and a "batch" VM guaranteed
+	// 1800 MHz, both fully CPU-bound. To create contention, use a
+	// custom 4-core node instead: guarantees 2×500 + 4×1800 ≈ 8.3 GHz
+	// on a 9.6 GHz machine.
+	spec := vfreq.Chetemi()
+	spec.Name = "demo"
+	spec.Cores = 4
+	machine, err = vfreq.NewMachine(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err = vfreq.NewManager(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	busy := func(n int) []vfreq.Workload {
+		out := make([]vfreq.Workload, n)
+		for i := range out {
+			out[i] = vfreq.Busy()
+		}
+		return out
+	}
+	web, err := mgr.Provision("web", vfreq.Small(), busy(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := mgr.Provision("batch", vfreq.Large(), busy(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The controller: paper configuration, one step per simulated
+	// second.
+	ctrl, err := vfreq.NewController(vfreq.NewSimHost(mgr), vfreq.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sec   web(500 MHz tpl)   batch(1800 MHz tpl)")
+	period := ctrl.Config().PeriodUs
+	for sec := 1; sec <= 30; sec++ {
+		webSnap, batchSnap := web.SnapshotCycles(), batch.SnapshotCycles()
+		machine.Advance(period)
+		if err := ctrl.Step(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d   %8.0f MHz       %8.0f MHz\n",
+			sec,
+			web.MeanVCPUFreqMHz(webSnap, period),
+			batch.MeanVCPUFreqMHz(batchSnap, period))
+	}
+	fmt.Println("\nEach VM receives at least its template frequency — the")
+	fmt.Println("controller translated 'MHz' into cgroup cpu.max quotas, and")
+	fmt.Println("the node's spare 1.4 GHz is auctioned off on top of the")
+	fmt.Println("guarantees instead of being wasted.")
+}

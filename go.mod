@@ -1,0 +1,3 @@
+module vfreq
+
+go 1.22

@@ -1,0 +1,383 @@
+// Package cgroupfs exposes a sched.Scheduler cgroup hierarchy through the
+// file dialects of Linux cgroup v2 (cpu.max, cpu.stat, cpu.weight,
+// cgroup.threads) and, optionally, cgroup v1 (cpu.cfs_quota_us,
+// cpu.cfs_period_us, cpuacct.usage, tasks).
+//
+// The virtual-frequency controller of the paper interacts with the kernel
+// exclusively through these files; emulating them byte-for-byte means the
+// controller code exercised in simulation is the same code that would run
+// against /sys/fs/cgroup on a real host.
+package cgroupfs
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+
+	"vfreq/internal/memfs"
+	"vfreq/internal/sched"
+)
+
+// DefaultMount is the conventional cgroup v2 mount point.
+const DefaultMount = "/sys/fs/cgroup"
+
+// Tree binds a scheduler's cgroup hierarchy to a memfs mount.
+type Tree struct {
+	fs      *memfs.FS
+	sched   *sched.Scheduler
+	mount   string
+	v1mount string
+	groups  map[string]*sched.Group // by path relative to mount, "" = root
+}
+
+// New mounts the scheduler's root cgroup at mount inside fs.
+func New(fs *memfs.FS, s *sched.Scheduler, mount string) (*Tree, error) {
+	t := &Tree{fs: fs, sched: s, mount: mount, groups: map[string]*sched.Group{}}
+	if err := fs.MkdirAll(mount); err != nil {
+		return nil, err
+	}
+	t.groups[""] = s.Root()
+	if err := t.addControlFiles("", s.Root()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Mount returns the v2 mount point.
+func (t *Tree) Mount() string { return t.mount }
+
+// FS returns the backing filesystem.
+func (t *Tree) FS() *memfs.FS { return t.fs }
+
+// normalize cleans a group path relative to the mount ("" is the root).
+func normalize(rel string) string {
+	rel = strings.Trim(path.Clean("/"+rel), "/")
+	if rel == "." {
+		return ""
+	}
+	return rel
+}
+
+// Group returns the scheduler group behind the given relative path.
+func (t *Tree) Group(rel string) (*sched.Group, error) {
+	g, ok := t.groups[normalize(rel)]
+	if !ok {
+		return nil, fmt.Errorf("cgroupfs: no cgroup %q", rel)
+	}
+	return g, nil
+}
+
+// CreateGroup creates a cgroup at the given path relative to the mount.
+// Parents must exist (as on a real cgroupfs, mkdir is not recursive).
+func (t *Tree) CreateGroup(rel string) (*sched.Group, error) {
+	rel = normalize(rel)
+	if rel == "" {
+		return nil, fmt.Errorf("cgroupfs: root already exists")
+	}
+	if _, ok := t.groups[rel]; ok {
+		return nil, fmt.Errorf("cgroupfs: cgroup %q already exists", rel)
+	}
+	parentRel := normalize(path.Dir(rel))
+	parent, ok := t.groups[parentRel]
+	if !ok {
+		return nil, fmt.Errorf("cgroupfs: parent of %q does not exist", rel)
+	}
+	g := t.sched.NewGroup(parent, path.Base(rel))
+	dir := path.Join(t.mount, rel)
+	if err := t.fs.Mkdir(dir); err != nil {
+		return nil, err
+	}
+	t.groups[rel] = g
+	if err := t.addControlFiles(rel, g); err != nil {
+		return nil, err
+	}
+	if t.v1mount != "" {
+		if err := t.addV1Files(rel, g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// CreateGroupAll creates a cgroup and any missing ancestors.
+func (t *Tree) CreateGroupAll(rel string) (*sched.Group, error) {
+	rel = normalize(rel)
+	if rel == "" {
+		return t.sched.Root(), nil
+	}
+	parts := strings.Split(rel, "/")
+	cur := ""
+	for _, p := range parts {
+		cur = normalize(path.Join(cur, p))
+		if _, ok := t.groups[cur]; ok {
+			continue
+		}
+		if _, err := t.CreateGroup(cur); err != nil {
+			return nil, err
+		}
+	}
+	return t.groups[rel], nil
+}
+
+// RemoveGroup removes a cgroup subtree.
+func (t *Tree) RemoveGroup(rel string) error {
+	rel = normalize(rel)
+	if rel == "" {
+		return fmt.Errorf("cgroupfs: cannot remove root")
+	}
+	g, ok := t.groups[rel]
+	if !ok {
+		return fmt.Errorf("cgroupfs: no cgroup %q", rel)
+	}
+	if err := t.sched.RemoveGroup(g); err != nil {
+		return err
+	}
+	prefix := rel + "/"
+	for k := range t.groups {
+		if k == rel || strings.HasPrefix(k, prefix) {
+			delete(t.groups, k)
+		}
+	}
+	if err := t.fs.RemoveAll(path.Join(t.mount, rel)); err != nil {
+		return err
+	}
+	if t.v1mount != "" {
+		if err := t.fs.RemoveAll(path.Join(t.v1mount, rel)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List returns the relative paths of all cgroups, the root as "".
+func (t *Tree) List() []string {
+	out := make([]string, 0, len(t.groups))
+	for k := range t.groups {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (t *Tree) addControlFiles(rel string, g *sched.Group) error {
+	dir := path.Join(t.mount, rel)
+	files := map[string]struct {
+		read  memfs.ReadFunc
+		write memfs.WriteFunc
+	}{
+		"cpu.max": {
+			read: func() string { return FormatCPUMax(g.QuotaUs, g.PeriodUs) },
+			write: func(s string) error {
+				q, p, err := ParseCPUMax(s, g.PeriodUs)
+				if err != nil {
+					return err
+				}
+				return g.SetQuota(q, p)
+			},
+		},
+		"cpu.stat": {
+			read: func() string {
+				return fmt.Sprintf(
+					"usage_usec %d\nuser_usec %d\nsystem_usec 0\nnr_periods %d\nnr_throttled %d\nthrottled_usec %d\nnr_bursts %d\nburst_usec %d\n",
+					g.UsageUs, g.UsageUs, g.NrPeriods, g.NrThrottled, g.ThrottledUs,
+					g.NrBursts, g.BurstUsedUs)
+			},
+		},
+		"cpu.max.burst": {
+			read: func() string { return fmt.Sprintf("%d\n", g.BurstUs) },
+			write: func(s string) error {
+				v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					return fmt.Errorf("cgroupfs: invalid cpu.max.burst %q", s)
+				}
+				return g.SetBurst(v)
+			},
+		},
+		"cpu.pressure": {
+			read: func() string {
+				a10, a60, a300, total := g.PSI()
+				return fmt.Sprintf(
+					"some avg10=%.2f avg60=%.2f avg300=%.2f total=%d\nfull avg10=%.2f avg60=%.2f avg300=%.2f total=%d\n",
+					100*a10, 100*a60, 100*a300, total,
+					100*a10, 100*a60, 100*a300, total)
+			},
+		},
+		"cpu.weight": {
+			read: func() string { return fmt.Sprintf("%d\n", g.Weight) },
+			write: func(s string) error {
+				w, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil || w < 1 || w > 10000 {
+					return fmt.Errorf("cgroupfs: invalid cpu.weight %q", s)
+				}
+				g.Weight = w
+				return nil
+			},
+		},
+		"cgroup.threads": {
+			read: func() string { return formatTIDs(g.ThreadIDs()) },
+		},
+		"cgroup.procs": {
+			read: func() string { return formatTIDs(g.ThreadIDs()) },
+		},
+		"cgroup.controllers": {
+			read: func() string { return "cpu\n" },
+		},
+	}
+	for name, f := range files {
+		if err := t.fs.AddDynamic(path.Join(dir, name), f.read, f.write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableV1 additionally exposes the hierarchy with cgroup v1 file names
+// under the given mount (e.g. "/sys/fs/cgroup-v1/cpu").
+func (t *Tree) EnableV1(mount string) error {
+	if t.v1mount != "" {
+		return fmt.Errorf("cgroupfs: v1 already enabled")
+	}
+	if err := t.fs.MkdirAll(mount); err != nil {
+		return err
+	}
+	t.v1mount = mount
+	// Mirror existing groups, parents before children.
+	paths := t.List()
+	// Sort by depth by simple insertion on segment count.
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if strings.Count(paths[j], "/") < strings.Count(paths[i], "/") ||
+				(strings.Count(paths[j], "/") == strings.Count(paths[i], "/") && paths[j] < paths[i]) {
+				paths[i], paths[j] = paths[j], paths[i]
+			}
+		}
+	}
+	for _, rel := range paths {
+		if rel != "" {
+			if err := t.fs.MkdirAll(path.Join(mount, rel)); err != nil {
+				return err
+			}
+		}
+		if err := t.addV1Files(rel, t.groups[rel]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) addV1Files(rel string, g *sched.Group) error {
+	dir := path.Join(t.v1mount, rel)
+	if rel != "" && !t.fs.IsDir(dir) {
+		if err := t.fs.MkdirAll(dir); err != nil {
+			return err
+		}
+	}
+	files := map[string]struct {
+		read  memfs.ReadFunc
+		write memfs.WriteFunc
+	}{
+		"cpu.cfs_quota_us": {
+			read: func() string { return fmt.Sprintf("%d\n", g.QuotaUs) },
+			write: func(s string) error {
+				q, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					return fmt.Errorf("cgroupfs: invalid cfs_quota_us %q", s)
+				}
+				if q < 0 {
+					q = sched.NoQuota
+				}
+				return g.SetQuota(q, g.PeriodUs)
+			},
+		},
+		"cpu.cfs_period_us": {
+			read: func() string { return fmt.Sprintf("%d\n", g.PeriodUs) },
+			write: func(s string) error {
+				p, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil || p <= 0 {
+					return fmt.Errorf("cgroupfs: invalid cfs_period_us %q", s)
+				}
+				return g.SetQuota(g.QuotaUs, p)
+			},
+		},
+		// cpuacct.usage is in nanoseconds in cgroup v1.
+		"cpuacct.usage": {
+			read: func() string { return fmt.Sprintf("%d\n", g.UsageUs*1000) },
+		},
+		"tasks": {
+			read: func() string { return formatTIDs(g.ThreadIDs()) },
+		},
+	}
+	for name, f := range files {
+		if err := t.fs.AddDynamic(path.Join(dir, name), f.read, f.write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatTIDs(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d\n", id)
+	}
+	return b.String()
+}
+
+// FormatCPUMax renders quota/period the way cgroup v2 does.
+func FormatCPUMax(quotaUs, periodUs int64) string {
+	if quotaUs == sched.NoQuota {
+		return fmt.Sprintf("max %d\n", periodUs)
+	}
+	return fmt.Sprintf("%d %d\n", quotaUs, periodUs)
+}
+
+// ParseCPUMax parses a cpu.max write: "max", "QUOTA" or "QUOTA PERIOD".
+// A missing period keeps the current one (the kernel behaviour).
+func ParseCPUMax(s string, currentPeriod int64) (quotaUs, periodUs int64, err error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields) > 2 {
+		return 0, 0, fmt.Errorf("cgroupfs: malformed cpu.max write %q", s)
+	}
+	periodUs = currentPeriod
+	if len(fields) == 2 {
+		periodUs, err = strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || periodUs <= 0 {
+			return 0, 0, fmt.Errorf("cgroupfs: bad period in %q", s)
+		}
+	}
+	if fields[0] == "max" {
+		return sched.NoQuota, periodUs, nil
+	}
+	quotaUs, err = strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || quotaUs <= 0 {
+		return 0, 0, fmt.Errorf("cgroupfs: bad quota in %q", s)
+	}
+	return quotaUs, periodUs, nil
+}
+
+// ParseCPUStat extracts the named counter from a cpu.stat read.
+func ParseCPUStat(content, key string) (int64, error) {
+	for _, line := range strings.Split(content, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == key {
+			return strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("cgroupfs: key %q not in cpu.stat", key)
+}
+
+// ParseTIDs parses a cgroup.threads / tasks read.
+func ParseTIDs(content string) ([]int, error) {
+	var out []int
+	for _, line := range strings.Split(strings.TrimSpace(content), "\n") {
+		if line == "" {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(line))
+		if err != nil {
+			return nil, fmt.Errorf("cgroupfs: bad tid %q", line)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

@@ -1,0 +1,421 @@
+// Package cluster orchestrates virtual-frequency-controlled nodes at the
+// datacenter level, implementing the direction the paper sketches in
+// §III-C and §V: admission through the core-splitting constraint (Eq. 7),
+// one frequency controller per node, migration-based rebalancing when a
+// node's guarantees become infeasible, and cluster-wide energy
+// accounting with idle nodes powered off.
+package cluster
+
+import (
+	"fmt"
+
+	"vfreq/internal/core"
+	"vfreq/internal/host"
+	"vfreq/internal/placement"
+	"vfreq/internal/platform"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+// Config tunes the cluster manager.
+type Config struct {
+	// Controller is the per-node controller configuration; the zero
+	// value means core.DefaultConfig().
+	Controller core.Config
+	// Policy is the admission constraint (defaults to Eq. 7 with
+	// memory enforcement).
+	Policy placement.Policy
+	// Algorithm selects the admission packer (defaults to BestFit).
+	Algorithm placement.Algorithm
+}
+
+func (c Config) withDefaults() Config {
+	if c.Controller.PeriodUs == 0 {
+		c.Controller = core.DefaultConfig()
+	}
+	if c.Policy.Factor == 0 {
+		c.Policy = placement.Policy{
+			Mode: placement.VirtualFrequency, Factor: 1, Memory: true,
+		}
+	}
+	return c
+}
+
+// Node is one managed machine.
+type Node struct {
+	Index   int
+	Machine *host.Machine
+	Manager *vm.Manager
+	Ctrl    *core.Controller
+
+	deployed map[string]*deployment
+	energyJ  float64 // energy accrued while hosting at least one VM
+	lastJ    float64
+}
+
+type deployment struct {
+	name     string
+	template vm.Template
+	sources  []workload.Source
+}
+
+// Spec returns the node's hardware description.
+func (n *Node) Spec() host.Spec { return n.Machine.Spec() }
+
+// VMs returns the names of the VMs deployed on this node.
+func (n *Node) VMs() []string {
+	out := make([]string, 0, len(n.deployed))
+	for _, inst := range n.Manager.List() {
+		out = append(out, inst.Name())
+	}
+	return out
+}
+
+// usedFreqMHz returns Σ vCPU·F of the deployed VMs.
+func (n *Node) usedFreqMHz() int64 {
+	var sum int64
+	for _, d := range n.deployed {
+		sum += int64(d.template.VCPUs) * d.template.FreqMHz
+	}
+	return sum
+}
+
+// usedMemGB returns the deployed memory.
+func (n *Node) usedMemGB() int {
+	var sum int
+	for _, d := range n.deployed {
+		sum += d.template.MemoryGB
+	}
+	return sum
+}
+
+// usedVCPUs returns the deployed vCPU count.
+func (n *Node) usedVCPUs() int {
+	var sum int
+	for _, d := range n.deployed {
+		sum += d.template.VCPUs
+	}
+	return sum
+}
+
+// Cluster manages a set of nodes.
+type Cluster struct {
+	cfg        Config
+	nodes      []*Node
+	migrations int
+	locations  map[string]int // VM name → node index
+}
+
+// New boots one machine per spec.
+func New(specs []host.Spec, cfg Config) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, locations: map[string]int{}}
+	for i, spec := range specs {
+		machine, err := host.New(spec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		mgr, err := vm.NewManager(machine)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := core.New(platform.NewSim(mgr), cfg.Controller)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &Node{
+			Index:    i,
+			Machine:  machine,
+			Manager:  mgr,
+			Ctrl:     ctrl,
+			deployed: map[string]*deployment{},
+		})
+	}
+	return c, nil
+}
+
+// Nodes returns the managed nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Migrations returns the number of VM migrations performed so far.
+func (c *Cluster) Migrations() int { return c.migrations }
+
+// Locate returns the node index hosting the named VM, or -1.
+func (c *Cluster) Locate(name string) int {
+	if i, ok := c.locations[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// fits checks the admission constraint for tpl on node n.
+func (c *Cluster) fits(n *Node, tpl vm.Template) bool {
+	p := c.cfg.Policy
+	spec := n.Spec()
+	switch p.Mode {
+	case placement.CoreCount:
+		if float64(n.usedVCPUs()+tpl.VCPUs) > float64(spec.Cores)*p.Factor {
+			return false
+		}
+	case placement.VirtualFrequency:
+		if tpl.FreqMHz > spec.MaxMHz {
+			return false
+		}
+		add := int64(tpl.VCPUs) * tpl.FreqMHz
+		if float64(n.usedFreqMHz()+add) > float64(spec.Cores)*float64(spec.MaxMHz)*p.Factor {
+			return false
+		}
+	}
+	if p.Memory && n.usedMemGB()+tpl.MemoryGB > spec.MemoryGB {
+		return false
+	}
+	return true
+}
+
+// remaining returns the free capacity of n in the policy's unit, for the
+// BestFit/WorstFit choice.
+func (c *Cluster) remaining(n *Node) float64 {
+	p := c.cfg.Policy
+	spec := n.Spec()
+	switch p.Mode {
+	case placement.CoreCount:
+		return float64(spec.Cores)*p.Factor - float64(n.usedVCPUs())
+	default:
+		return float64(spec.Cores)*float64(spec.MaxMHz)*p.Factor - float64(n.usedFreqMHz())
+	}
+}
+
+// Deploy admits a VM onto the cluster and provisions it. sources may be
+// nil (idle VM). It returns the chosen node index.
+func (c *Cluster) Deploy(name string, tpl vm.Template, sources []workload.Source) (int, error) {
+	if _, ok := c.locations[name]; ok {
+		return -1, fmt.Errorf("cluster: VM %q already deployed", name)
+	}
+	chosen := -1
+	for i, n := range c.nodes {
+		if !c.fits(n, tpl) {
+			continue
+		}
+		switch c.cfg.Algorithm {
+		case placement.FirstFit:
+			chosen = i
+		case placement.BestFit:
+			if chosen == -1 || c.remaining(n) < c.remaining(c.nodes[chosen]) {
+				chosen = i
+			}
+			continue
+		case placement.WorstFit:
+			if chosen == -1 || c.remaining(n) > c.remaining(c.nodes[chosen]) {
+				chosen = i
+			}
+			continue
+		default:
+			return -1, fmt.Errorf("cluster: unknown algorithm %v", c.cfg.Algorithm)
+		}
+		break
+	}
+	if chosen == -1 {
+		return -1, fmt.Errorf("cluster: no node can host %q (%d vCPU @ %d MHz, %d GB)",
+			name, tpl.VCPUs, tpl.FreqMHz, tpl.MemoryGB)
+	}
+	if err := c.provisionOn(chosen, name, tpl, sources); err != nil {
+		return -1, err
+	}
+	return chosen, nil
+}
+
+// provisionOn places the VM on a specific node, bypassing admission (used
+// by Deploy and by migration).
+func (c *Cluster) provisionOn(idx int, name string, tpl vm.Template, sources []workload.Source) error {
+	n := c.nodes[idx]
+	if _, err := n.Manager.Provision(name, tpl, sources); err != nil {
+		return err
+	}
+	n.deployed[name] = &deployment{name: name, template: tpl, sources: sources}
+	c.locations[name] = idx
+	return nil
+}
+
+// Undeploy removes a VM from the cluster.
+func (c *Cluster) Undeploy(name string) error {
+	idx, ok := c.locations[name]
+	if !ok {
+		return fmt.Errorf("cluster: no VM %q", name)
+	}
+	n := c.nodes[idx]
+	if err := n.Manager.Destroy(name); err != nil {
+		return err
+	}
+	delete(n.deployed, name)
+	delete(c.locations, name)
+	return nil
+}
+
+// Migrate moves a VM to another node. The workload sources carry their
+// own state, so the VM resumes where it left off (the benchmark does not
+// restart); the vCPU usage counters restart from zero on the target, as
+// they do after a real migration.
+func (c *Cluster) Migrate(name string, target int) error {
+	src, ok := c.locations[name]
+	if !ok {
+		return fmt.Errorf("cluster: no VM %q", name)
+	}
+	if target < 0 || target >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", target)
+	}
+	if target == src {
+		return nil
+	}
+	d := c.nodes[src].deployed[name]
+	if !c.fits(c.nodes[target], d.template) {
+		return fmt.Errorf("cluster: node %d cannot host %q", target, name)
+	}
+	if err := c.Undeploy(name); err != nil {
+		return err
+	}
+	if err := c.provisionOn(target, name, d.template, d.sources); err != nil {
+		return err
+	}
+	c.migrations++
+	return nil
+}
+
+// Overloaded returns the indices of nodes whose deployed guarantees
+// violate the admission constraint (possible after Undeploy-free external
+// changes or a policy change).
+func (c *Cluster) Overloaded() []int {
+	var out []int
+	for i, n := range c.nodes {
+		p := c.cfg.Policy
+		spec := n.Spec()
+		over := false
+		switch p.Mode {
+		case placement.CoreCount:
+			over = float64(n.usedVCPUs()) > float64(spec.Cores)*p.Factor
+		case placement.VirtualFrequency:
+			over = float64(n.usedFreqMHz()) > float64(spec.Cores)*float64(spec.MaxMHz)*p.Factor
+		}
+		if p.Memory && n.usedMemGB() > spec.MemoryGB {
+			over = true
+		}
+		if over {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Rebalance migrates VMs away from overloaded nodes until every node
+// satisfies the admission constraint or no feasible move remains. It
+// returns the number of migrations performed.
+func (c *Cluster) Rebalance() (int, error) {
+	moved := 0
+	for _, idx := range c.Overloaded() {
+		n := c.nodes[idx]
+		// Move smallest-demand VMs first: they are the cheapest to
+		// migrate and often enough to restore feasibility.
+		for c.isOverloaded(idx) {
+			name := c.smallestVM(n)
+			if name == "" {
+				break
+			}
+			target := -1
+			for j := range c.nodes {
+				if j == idx {
+					continue
+				}
+				if c.fits(c.nodes[j], n.deployed[name].template) {
+					if target == -1 || c.remaining(c.nodes[j]) < c.remaining(c.nodes[target]) {
+						target = j
+					}
+				}
+			}
+			if target == -1 {
+				return moved, fmt.Errorf("cluster: node %d overloaded and no migration target for %q", idx, name)
+			}
+			if err := c.Migrate(name, target); err != nil {
+				return moved, err
+			}
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+func (c *Cluster) isOverloaded(idx int) bool {
+	for _, i := range c.Overloaded() {
+		if i == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// smallestVM returns the deployed VM with the lowest vCPU·F demand.
+func (c *Cluster) smallestVM(n *Node) string {
+	best := ""
+	var bestDemand int64 = 1 << 62
+	for _, inst := range n.Manager.List() {
+		d := n.deployed[inst.Name()]
+		demand := int64(d.template.VCPUs) * d.template.FreqMHz
+		if demand < bestDemand {
+			bestDemand = demand
+			best = inst.Name()
+		}
+	}
+	return best
+}
+
+// Step advances every node by one control period and runs its
+// controller.
+func (c *Cluster) Step() error {
+	period := c.cfg.Controller.PeriodUs
+	for _, n := range c.nodes {
+		n.Machine.Advance(period)
+		if err := n.Ctrl.Step(); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", n.Index, err)
+		}
+		j := n.Machine.Meter.Joules()
+		if len(n.deployed) > 0 {
+			n.energyJ += j - n.lastJ
+		}
+		n.lastJ = j
+	}
+	return nil
+}
+
+// UsedNodes counts nodes hosting at least one VM.
+func (c *Cluster) UsedNodes() int {
+	n := 0
+	for _, node := range c.nodes {
+		if len(node.deployed) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveEnergyJoules returns the energy consumed by nodes while they
+// hosted VMs — the cluster's bill when idle nodes are powered off.
+func (c *Cluster) ActiveEnergyJoules() float64 {
+	var sum float64
+	for _, n := range c.nodes {
+		sum += n.energyJ
+	}
+	return sum
+}
+
+// TotalEnergyJoules returns the energy with every node always powered.
+func (c *Cluster) TotalEnergyJoules() float64 {
+	var sum float64
+	for _, n := range c.nodes {
+		sum += n.Machine.Meter.Joules()
+	}
+	return sum
+}

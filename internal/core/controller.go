@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vfreq/internal/platform"
+)
+
+// VCPUState is the controller's per-vCPU bookkeeping, exported for
+// inspection by traces and tests.
+type VCPUState struct {
+	VM    string
+	Index int
+
+	// Hist holds the consumption of the last n periods (u values).
+	Hist *History
+	// PrevUsageUs is the cumulative usage at the previous step.
+	PrevUsageUs int64
+	// LastU is u_{i,j,t}: cycles consumed during the last period.
+	LastU int64
+	// CapUs is c_{i,j,t}: the cycles allocated for the next period
+	// (applied as a cgroup quota when control is enabled).
+	CapUs int64
+	// EstUs is e_{i,j,t}: the estimated upcoming consumption.
+	EstUs int64
+	// TID is the vCPU thread id.
+	TID int
+	// LastCore is the core the thread last ran on.
+	LastCore int
+	// FreqMHz is the monitored virtual frequency estimate:
+	// (u/p) × frequency of the last core.
+	FreqMHz float64
+
+	// warm marks a vCPU registered during the current step: the first
+	// usage reading happens at registration time, so no consumption
+	// delta exists until the next step. Warm vCPUs keep their initial
+	// guarantee-level allocation and accrue no credits.
+	warm bool
+}
+
+// VMState is the controller's per-VM bookkeeping.
+type VMState struct {
+	Info platform.VMInfo
+	// GuaranteeUs is C_i of Eq. 2.
+	GuaranteeUs int64
+	// CreditUs is the VM's credit wallet (Eq. 4), in cycles.
+	CreditUs int64
+	// VCPUs holds the per-vCPU states.
+	VCPUs []*VCPUState
+}
+
+// Controller runs the six-stage control loop against a platform host.
+type Controller struct {
+	cfg  Config
+	host platform.Host
+	node platform.NodeInfo
+
+	vms   map[string]*VMState
+	order []string
+
+	steps   int64
+	timings StageTimings
+}
+
+// New creates a controller.
+func New(h platform.Host, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	node := h.Node()
+	if node.Cores <= 0 || node.MaxFreqMHz <= 0 {
+		return nil, fmt.Errorf("core: invalid node info %+v", node)
+	}
+	return &Controller{
+		cfg:  cfg,
+		host: h,
+		node: node,
+		vms:  map[string]*VMState{},
+	}, nil
+}
+
+// Config returns the active configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Node returns the node description the controller operates on.
+func (c *Controller) Node() platform.NodeInfo { return c.node }
+
+// Steps returns the number of completed control iterations.
+func (c *Controller) Steps() int64 { return c.steps }
+
+// LastTimings returns the stage timings of the most recent Step.
+func (c *Controller) LastTimings() StageTimings { return c.timings }
+
+// VM returns the state of a VM, or nil.
+func (c *Controller) VM(name string) *VMState { return c.vms[name] }
+
+// VMs returns all VM states in provisioning order.
+func (c *Controller) VMs() []*VMState {
+	out := make([]*VMState, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.vms[n])
+	}
+	return out
+}
+
+// guarantee computes C_i (Eq. 2) for a template frequency on this node.
+func (c *Controller) guarantee(freqMHz int64) int64 {
+	return c.cfg.PeriodUs * freqMHz / c.node.MaxFreqMHz
+}
+
+// syncVMs reconciles the controller state with the host's VM list.
+func (c *Controller) syncVMs() error {
+	infos, err := c.host.ListVMs()
+	if err != nil {
+		return fmt.Errorf("core: listing VMs: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, info := range infos {
+		seen[info.Name] = true
+		if st, ok := c.vms[info.Name]; ok {
+			st.Info = info
+			continue
+		}
+		if info.FreqMHz > c.node.MaxFreqMHz {
+			return fmt.Errorf("core: VM %q requests %d MHz above node F_MAX %d",
+				info.Name, info.FreqMHz, c.node.MaxFreqMHz)
+		}
+		st := &VMState{Info: info, GuaranteeUs: c.guarantee(info.FreqMHz)}
+		for j := 0; j < info.VCPUs; j++ {
+			usage, err := c.host.UsageUs(info.Name, j)
+			if err != nil {
+				return fmt.Errorf("core: initial usage of %s/vcpu%d: %w", info.Name, j, err)
+			}
+			st.VCPUs = append(st.VCPUs, &VCPUState{
+				VM:          info.Name,
+				Index:       j,
+				Hist:        NewHistory(c.cfg.HistoryLen),
+				PrevUsageUs: usage,
+				CapUs:       st.GuaranteeUs,
+				EstUs:       st.GuaranteeUs,
+				LastCore:    -1,
+				warm:        true,
+			})
+		}
+		c.vms[info.Name] = st
+		c.order = append(c.order, info.Name)
+	}
+	// Drop departed VMs.
+	for name := range c.vms {
+		if !seen[name] {
+			delete(c.vms, name)
+			for i, n := range c.order {
+				if n == name {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Step runs one full control iteration. In a live deployment it is called
+// every PeriodUs of wall-clock time; in simulation, after advancing the
+// simulated machine by one period.
+func (c *Controller) Step() error {
+	t0 := time.Now()
+	if err := c.syncVMs(); err != nil {
+		return err
+	}
+	tm0 := time.Now()
+	if err := c.monitor(); err != nil {
+		return err
+	}
+	c.timings.Monitor = time.Since(tm0)
+
+	te := time.Now()
+	c.estimateAll()
+	c.timings.Estimate = time.Since(te)
+
+	tf := time.Now()
+	c.enforceBase()
+	c.timings.Enforce = time.Since(tf)
+
+	ta := time.Now()
+	market := c.market()
+	market = c.auction(market)
+	c.timings.Auction = time.Since(ta)
+
+	td := time.Now()
+	c.distribute(market)
+	c.timings.Distribute = time.Since(td)
+
+	tp := time.Now()
+	var err error
+	if c.cfg.ControlEnabled {
+		err = c.apply()
+	}
+	c.timings.Apply = time.Since(tp)
+	c.timings.Total = time.Since(t0)
+	c.steps++
+	return err
+}
+
+// monitor implements stage 1: read consumption deltas, thread placement
+// and core frequencies, and derive each vCPU's virtual frequency
+// estimate. The thread location is read once per iteration, as discussed
+// in §III-B1 of the paper.
+func (c *Controller) monitor() error {
+	for _, name := range c.order {
+		st := c.vms[name]
+		for _, v := range st.VCPUs {
+			usage, err := c.host.UsageUs(v.VM, v.Index)
+			if err != nil {
+				return fmt.Errorf("core: usage of %s/vcpu%d: %w", v.VM, v.Index, err)
+			}
+			if v.warm {
+				// Registered this step: the delta against the
+				// registration reading spans no time yet.
+				v.PrevUsageUs = usage
+				v.warm = false
+			} else {
+				u := usage - v.PrevUsageUs
+				if u < 0 {
+					u = 0 // counter reset (VM restart)
+				}
+				v.PrevUsageUs = usage
+				v.LastU = u
+				v.Hist.Push(u)
+			}
+
+			tid, err := c.host.ThreadID(v.VM, v.Index)
+			if err != nil {
+				return fmt.Errorf("core: tid of %s/vcpu%d: %w", v.VM, v.Index, err)
+			}
+			v.TID = tid
+			core, err := c.host.LastCPU(tid)
+			if err != nil {
+				return fmt.Errorf("core: placement of tid %d: %w", tid, err)
+			}
+			v.LastCore = core
+			freq, err := c.host.CoreFreqMHz(core)
+			if err != nil {
+				return fmt.Errorf("core: frequency of core %d: %w", core, err)
+			}
+			v.FreqMHz = float64(v.LastU) / float64(c.cfg.PeriodUs) * float64(freq)
+		}
+	}
+	return nil
+}
+
+// market computes Eq. 6: the cycles of the next period not allocated to
+// any vCPU. A negative market (guarantees oversubscribed, Eq. 7 violated
+// by the placement layer) is clamped to zero.
+func (c *Controller) market() int64 {
+	total := int64(c.node.Cores) * c.cfg.PeriodUs
+	for _, st := range c.vms {
+		for _, v := range st.VCPUs {
+			total -= v.CapUs
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// buyers returns the vCPUs whose estimate exceeds their cap, i.e. those
+// that want to buy cycles, grouped per VM in a stable order.
+func (c *Controller) buyers() []*VCPUState {
+	var out []*VCPUState
+	for _, name := range c.order {
+		for _, v := range c.vms[name].VCPUs {
+			if v.CapUs < v.EstUs {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// sortByCredit orders buyers so that vCPUs of VMs with larger wallets come
+// first — the paper's "priority to VMs that used this possibility of
+// allocation burst less often".
+func (c *Controller) sortByCredit(buyers []*VCPUState) {
+	sort.SliceStable(buyers, func(i, j int) bool {
+		return c.vms[buyers[i].VM].CreditUs > c.vms[buyers[j].VM].CreditUs
+	})
+}

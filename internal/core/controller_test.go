@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"vfreq/internal/platform"
+)
+
+// fakeHost is a scriptable platform.Host for white-box stage tests.
+type fakeHost struct {
+	node     platform.NodeInfo
+	vms      []platform.VMInfo
+	usage    map[string]int64 // "vm/j" → cumulative µs
+	freq     map[int]int64    // core → MHz
+	lastCPU  map[int]int      // tid → core
+	setMax   map[string][2]int64
+	setBurst map[string]int64
+	applied  int
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{
+		node:     platform.NodeInfo{Name: "fake", Cores: 4, MaxFreqMHz: 2400},
+		usage:    map[string]int64{},
+		freq:     map[int]int64{0: 2400, 1: 2400, 2: 2400, 3: 2400},
+		lastCPU:  map[int]int{},
+		setMax:   map[string][2]int64{},
+		setBurst: map[string]int64{},
+	}
+}
+
+func key(vm string, j int) string { return fmt.Sprintf("%s/%d", vm, j) }
+
+func (f *fakeHost) Node() platform.NodeInfo             { return f.node }
+func (f *fakeHost) ListVMs() ([]platform.VMInfo, error) { return f.vms, nil }
+func (f *fakeHost) UsageUs(vm string, j int) (int64, error) {
+	u, ok := f.usage[key(vm, j)]
+	if !ok {
+		return 0, fmt.Errorf("no vcpu %s/%d", vm, j)
+	}
+	return u, nil
+}
+func (f *fakeHost) SetMax(vm string, j int, quota, period int64) error {
+	f.setMax[key(vm, j)] = [2]int64{quota, period}
+	f.applied++
+	return nil
+}
+func (f *fakeHost) ClearMax(vm string, j int) error {
+	delete(f.setMax, key(vm, j))
+	return nil
+}
+func (f *fakeHost) SetBurst(vm string, j int, burstUs int64) error {
+	f.setBurst[key(vm, j)] = burstUs
+	return nil
+}
+func (f *fakeHost) ThreadID(vm string, j int) (int, error) { return 1000 + 10*len(vm) + j, nil }
+func (f *fakeHost) LastCPU(tid int) (int, error) {
+	if c, ok := f.lastCPU[tid]; ok {
+		return c, nil
+	}
+	return 0, nil
+}
+func (f *fakeHost) CoreFreqMHz(core int) (int64, error) { return f.freq[core], nil }
+
+// addVM registers a VM and seeds zero usage.
+func (f *fakeHost) addVM(name string, vcpus int, freqMHz int64) {
+	f.vms = append(f.vms, platform.VMInfo{Name: name, VCPUs: vcpus, FreqMHz: freqMHz})
+	for j := 0; j < vcpus; j++ {
+		f.usage[key(name, j)] = 0
+	}
+}
+
+// consume advances a vCPU's cumulative usage.
+func (f *fakeHost) consume(vm string, j int, us int64) { f.usage[key(vm, j)] += us }
+
+func mustController(t *testing.T, h platform.Host, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	h := newFakeHost()
+	bad := DefaultConfig()
+	bad.PeriodUs = 0
+	if _, err := New(h, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	h.node.Cores = 0
+	if _, err := New(h, DefaultConfig()); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+}
+
+func TestConfigValidateCases(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := DefaultConfig()
+		mut(&c)
+		return c
+	}
+	cases := []Config{
+		mk(func(c *Config) { c.HistoryLen = 1 }),
+		mk(func(c *Config) { c.IncreaseTrigger = 0 }),
+		mk(func(c *Config) { c.IncreaseTrigger = 1.5 }),
+		mk(func(c *Config) { c.IncreaseFactor = 0 }),
+		mk(func(c *Config) { c.DecreaseTrigger = 1 }),
+		mk(func(c *Config) { c.DecreaseFactor = 0 }),
+		mk(func(c *Config) { c.DecreaseFactor = 1 }),
+		mk(func(c *Config) { c.StableMargin = -1 }),
+		mk(func(c *Config) { c.WindowUs = 0 }),
+		mk(func(c *Config) { c.MinQuotaUs = 0 }),
+		mk(func(c *Config) { c.MinQuotaUs = c.PeriodUs + 1 }),
+		mk(func(c *Config) { c.CgroupPeriodUs = 0 }),
+		mk(func(c *Config) { c.CgroupPeriodUs = c.PeriodUs * 2 }),
+		mk(func(c *Config) { c.CreditCapPeriods = -1 }),
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestGuaranteeEq2(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	// Eq. 2: C_i = p·F_v/F_MAX.
+	if got := c.guarantee(1800); got != 750_000 {
+		t.Fatalf("guarantee(1800) = %d, want 750000", got)
+	}
+	if got := c.guarantee(500); got != 208_333 {
+		t.Fatalf("guarantee(500) = %d, want 208333", got)
+	}
+}
+
+func TestSyncVMsAddRemove(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 2, 500)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.VM("a") == nil || len(c.VM("a").VCPUs) != 2 {
+		t.Fatal("VM a not tracked")
+	}
+	if got := c.VM("a").GuaranteeUs; got != 208_333 {
+		t.Fatalf("guarantee = %d", got)
+	}
+	h.addVM("b", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.VMs()) != 2 {
+		t.Fatal("VM b not added")
+	}
+	// Remove a.
+	h.vms = h.vms[1:]
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.VM("a") != nil || len(c.VMs()) != 1 {
+		t.Fatal("VM a not removed")
+	}
+}
+
+func TestSyncRejectsInfeasibleFrequency(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("fast", 1, 5000) // above 2400 F_MAX
+	if err := c.Step(); err == nil {
+		t.Fatal("frequency above F_MAX accepted")
+	}
+}
+
+func TestMonitorComputesDeltaAndFreq(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil { // registers with zero usage
+		t.Fatal(err)
+	}
+	h.consume("a", 0, 600_000)
+	h.lastCPU[c.VM("a").VCPUs[0].TID] = 2
+	h.freq[2] = 2000
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	v := c.VM("a").VCPUs[0]
+	if v.LastU != 600_000 {
+		t.Fatalf("LastU = %d, want 600000", v.LastU)
+	}
+	// Virtual frequency: 0.6 share × 2000 MHz = 1200 MHz.
+	if v.FreqMHz != 1200 {
+		t.Fatalf("FreqMHz = %v, want 1200", v.FreqMHz)
+	}
+	if v.LastCore != 2 {
+		t.Fatalf("LastCore = %d", v.LastCore)
+	}
+}
+
+func TestMonitorHandlesCounterReset(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.consume("a", 0, 500_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.usage[key("a", 0)] = 100 // counter went backwards (VM restarted)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.VM("a").VCPUs[0].LastU; u != 0 {
+		t.Fatalf("LastU after reset = %d, want 0", u)
+	}
+}
+
+func TestEstimateIncreaseCase(t *testing.T) {
+	c := mustController(t, newFakeHost(), DefaultConfig())
+	v := &VCPUState{Hist: NewHistory(5), CapUs: 100_000}
+	for _, u := range []int64{50_000, 70_000, 90_000, 96_000} {
+		v.Hist.Push(u)
+	}
+	v.LastU = 96_000 // ≥ 0.95 × 100000 and rising
+	got := c.estimate(v)
+	if got != 200_000 { // cap × (1 + 1.00)
+		t.Fatalf("increase estimate = %d, want 200000", got)
+	}
+}
+
+func TestEstimateDecreaseCase(t *testing.T) {
+	c := mustController(t, newFakeHost(), DefaultConfig())
+	v := &VCPUState{Hist: NewHistory(5), CapUs: 100_000}
+	for _, u := range []int64{90_000, 70_000, 50_000, 30_000} {
+		v.Hist.Push(u)
+	}
+	v.LastU = 30_000 // ≤ 0.5 × 100000 and falling
+	got := c.estimate(v)
+	if got != 95_000 { // cap × (1 − 0.05)
+		t.Fatalf("decrease estimate = %d, want 95000", got)
+	}
+}
+
+func TestEstimateStableCase(t *testing.T) {
+	c := mustController(t, newFakeHost(), DefaultConfig())
+	v := &VCPUState{Hist: NewHistory(5), CapUs: 100_000}
+	for i := 0; i < 5; i++ {
+		v.Hist.Push(60_000)
+	}
+	v.LastU = 60_000
+	got := c.estimate(v)
+	want := int64(float64(60_000)/c.Config().IncreaseTrigger) + 1 // 63157+1
+	if got != want {
+		t.Fatalf("stable estimate = %d, want %d", got, want)
+	}
+	// The recalibrated cap must not fire the increase trigger next time.
+	if float64(v.LastU) >= 0.95*float64(got) {
+		t.Fatal("stable estimate still inside increase trigger")
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	c := mustController(t, newFakeHost(), cfg)
+	// Idle vCPU: estimate floors at MinQuotaUs.
+	v := &VCPUState{Hist: NewHistory(5), CapUs: cfg.MinQuotaUs}
+	for i := 0; i < 5; i++ {
+		v.Hist.Push(0)
+	}
+	if got := c.estimate(v); got != cfg.MinQuotaUs {
+		t.Fatalf("idle estimate = %d, want %d", got, cfg.MinQuotaUs)
+	}
+	// Saturated vCPU: estimate ceils at one core (PeriodUs).
+	v2 := &VCPUState{Hist: NewHistory(5), CapUs: 900_000}
+	for _, u := range []int64{500_000, 700_000, 860_000, 900_000} {
+		v2.Hist.Push(u)
+	}
+	v2.LastU = 900_000
+	if got := c.estimate(v2); got != cfg.PeriodUs {
+		t.Fatalf("saturated estimate = %d, want %d", got, cfg.PeriodUs)
+	}
+}
+
+func TestEnforceCreditsEq4AndCapEq5(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 2, 1200) // C_i = 500000
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.VM("a")
+	// vCPU0 consumed 100000 (under guarantee by 400000), vCPU1 600000
+	// (over guarantee, no credit).
+	st.VCPUs[0].LastU = 100_000
+	st.VCPUs[0].Hist.Push(100_000)
+	st.VCPUs[1].LastU = 600_000
+	st.VCPUs[1].Hist.Push(600_000)
+	st.VCPUs[0].EstUs = 200_000 // under guarantee → cap = estimate
+	st.VCPUs[1].EstUs = 900_000 // over guarantee → cap = C_i
+	st.CreditUs = 0
+	c.enforceBase()
+	if st.CreditUs != 400_000 {
+		t.Fatalf("credits = %d, want 400000 (Eq. 4)", st.CreditUs)
+	}
+	if st.VCPUs[0].CapUs != 200_000 {
+		t.Fatalf("cap0 = %d, want est 200000 (Eq. 5)", st.VCPUs[0].CapUs)
+	}
+	if st.VCPUs[1].CapUs != 500_000 {
+		t.Fatalf("cap1 = %d, want C_i 500000 (Eq. 5)", st.VCPUs[1].CapUs)
+	}
+}
+
+func TestCreditWalletCap(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.CreditCapPeriods = 2
+	c := mustController(t, h, cfg)
+	h.addVM("a", 1, 1200) // C_i = 500000, wallet cap = 2×500000×1
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.VM("a")
+	for i := 0; i < 10; i++ {
+		st.VCPUs[0].LastU = 0
+		st.VCPUs[0].Hist.Push(0)
+		c.enforceBase()
+	}
+	if st.CreditUs != 1_000_000 {
+		t.Fatalf("wallet = %d, want capped at 1000000", st.CreditUs)
+	}
+}
+
+func TestMarketEq6(t *testing.T) {
+	h := newFakeHost() // 4 cores → capacity 4e6
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 2, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.VM("a")
+	st.VCPUs[0].CapUs = 500_000
+	st.VCPUs[1].CapUs = 300_000
+	if got := c.market(); got != 3_200_000 {
+		t.Fatalf("market = %d, want 3200000", got)
+	}
+	// Oversubscription clamps to zero.
+	st.VCPUs[0].CapUs = 3_000_000
+	st.VCPUs[1].CapUs = 2_000_000
+	if got := c.market(); got != 0 {
+		t.Fatalf("oversubscribed market = %d, want 0", got)
+	}
+}
+
+func TestAuctionChargesCreditsAndWindows(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.WindowUs = 10_000
+	c := mustController(t, h, cfg)
+	h.addVM("rich", 1, 1200)
+	h.addVM("poor", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rich, poor := c.VM("rich"), c.VM("poor")
+	rich.CreditUs = 100_000
+	poor.CreditUs = 5_000
+	rich.VCPUs[0].CapUs, rich.VCPUs[0].EstUs = 100_000, 200_000 // wants 100000
+	poor.VCPUs[0].CapUs, poor.VCPUs[0].EstUs = 100_000, 200_000
+	left := c.auction(70_000)
+	if left != 0 {
+		t.Fatalf("market left = %d, want 0", left)
+	}
+	// The poor VM could only afford 5000; the rich one bought the rest.
+	if got := poor.VCPUs[0].CapUs - 100_000; got != 5_000 {
+		t.Fatalf("poor bought %d, want 5000", got)
+	}
+	if got := rich.VCPUs[0].CapUs - 100_000; got != 65_000 {
+		t.Fatalf("rich bought %d, want 65000", got)
+	}
+	if poor.CreditUs != 0 || rich.CreditUs != 35_000 {
+		t.Fatalf("wallets = %d/%d", rich.CreditUs, poor.CreditUs)
+	}
+}
+
+func TestAuctionWindowPreventsMonopoly(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.WindowUs = 1_000
+	c := mustController(t, h, cfg)
+	h.addVM("rich", 1, 1200)
+	h.addVM("mid", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rich, mid := c.VM("rich"), c.VM("mid")
+	rich.CreditUs, mid.CreditUs = 1_000_000, 1_000_000
+	rich.VCPUs[0].CapUs, rich.VCPUs[0].EstUs = 0, 500_000
+	mid.VCPUs[0].CapUs, mid.VCPUs[0].EstUs = 0, 500_000
+	c.auction(10_000)
+	// With equal wallets and a 1000 window, both should get ~5000.
+	if rich.VCPUs[0].CapUs != 5_000 || mid.VCPUs[0].CapUs != 5_000 {
+		t.Fatalf("split = %d/%d, want 5000/5000",
+			rich.VCPUs[0].CapUs, mid.VCPUs[0].CapUs)
+	}
+}
+
+func TestAuctionStopsWithoutCredits(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("broke", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.VM("broke")
+	st.CreditUs = 0
+	st.VCPUs[0].CapUs, st.VCPUs[0].EstUs = 0, 500_000
+	left := c.auction(100_000)
+	if left != 100_000 {
+		t.Fatalf("market left = %d, want all 100000 (no credits)", left)
+	}
+	if st.VCPUs[0].CapUs != 0 {
+		t.Fatal("broke VM bought cycles")
+	}
+}
+
+func TestDistributeProportional(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	h.addVM("b", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.VM("a").VCPUs[0], c.VM("b").VCPUs[0]
+	a.CapUs, a.EstUs = 0, 300_000 // demand 300000
+	b.CapUs, b.EstUs = 0, 100_000 // demand 100000
+	c.distribute(200_000)
+	if a.CapUs != 150_000 || b.CapUs != 50_000 {
+		t.Fatalf("distribution = %d/%d, want 150000/50000", a.CapUs, b.CapUs)
+	}
+	// Distribution never exceeds the estimate.
+	a.CapUs, a.EstUs = 0, 50_000
+	b.CapUs, b.EstUs = 0, 50_000
+	c.distribute(1_000_000)
+	if a.CapUs != 50_000 || b.CapUs != 50_000 {
+		t.Fatalf("over-distribution: %d/%d", a.CapUs, b.CapUs)
+	}
+}
+
+func TestApplyScalesQuotaToCgroupPeriod(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	v := c.VM("a").VCPUs[0]
+	v.CapUs = 400_000 // per 1 s period
+	if err := c.apply(); err != nil {
+		t.Fatal(err)
+	}
+	got := h.setMax[key("a", 0)]
+	if got[0] != 40_000 || got[1] != 100_000 {
+		t.Fatalf("quota = %v, want [40000 100000]", got)
+	}
+	// Tiny caps floor at MinQuotaUs.
+	v.CapUs = 10
+	if err := c.apply(); err != nil {
+		t.Fatal(err)
+	}
+	got = h.setMax[key("a", 0)]
+	if got[0] != c.Config().MinQuotaUs {
+		t.Fatalf("floored quota = %d, want %d", got[0], c.Config().MinQuotaUs)
+	}
+}
+
+func TestMonitoringOnlyModeNeverWritesQuotas(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.ControlEnabled = false
+	c := mustController(t, h, cfg)
+	h.addVM("a", 2, 500)
+	for i := 0; i < 5; i++ {
+		h.consume("a", 0, 900_000)
+		h.consume("a", 1, 900_000)
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.applied != 0 {
+		t.Fatalf("execution A wrote %d quotas, want 0", h.applied)
+	}
+	// Monitoring still happens.
+	if c.VM("a").VCPUs[0].LastU != 900_000 {
+		t.Fatal("monitoring inactive in execution A")
+	}
+}
+
+func TestStepTimingsPopulated(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 500)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	tm := c.LastTimings()
+	if tm.Total <= 0 {
+		t.Fatal("total timing not recorded")
+	}
+	if c.Steps() != 1 {
+		t.Fatalf("Steps = %d", c.Steps())
+	}
+}
+
+func TestCapacityAndGuaranteeTotals(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 2, 1200)
+	h.addVM("b", 4, 600)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CapacityUs(); got != 4_000_000 {
+		t.Fatalf("capacity = %d", got)
+	}
+	// 2×500000 + 4×250000 = 2000000.
+	if got := c.TotalGuaranteeUs(); got != 2_000_000 {
+		t.Fatalf("total guarantee = %d", got)
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vfreq/internal/platform"
+)
+
+// flakyHost wraps fakeHost and fails selected operations, for failure
+// injection: a real host can race VM teardown with the controller
+// (cgroups vanish between ListVMs and the usage read).
+type flakyHost struct {
+	*fakeHost
+	failUsage  bool
+	failTID    bool
+	failCPU    bool
+	failFreq   bool
+	failSetMax bool
+	failList   bool
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *flakyHost) ListVMs() ([]platform.VMInfo, error) {
+	if f.failList {
+		return nil, errInjected
+	}
+	return f.fakeHost.ListVMs()
+}
+
+func (f *flakyHost) UsageUs(vm string, j int) (int64, error) {
+	if f.failUsage {
+		return 0, errInjected
+	}
+	return f.fakeHost.UsageUs(vm, j)
+}
+
+func (f *flakyHost) ThreadID(vm string, j int) (int, error) {
+	if f.failTID {
+		return 0, errInjected
+	}
+	return f.fakeHost.ThreadID(vm, j)
+}
+
+func (f *flakyHost) LastCPU(tid int) (int, error) {
+	if f.failCPU {
+		return 0, errInjected
+	}
+	return f.fakeHost.LastCPU(tid)
+}
+
+func (f *flakyHost) CoreFreqMHz(core int) (int64, error) {
+	if f.failFreq {
+		return 0, errInjected
+	}
+	return f.fakeHost.CoreFreqMHz(core)
+}
+
+func (f *flakyHost) SetMax(vm string, j int, q, p int64) error {
+	if f.failSetMax {
+		return errInjected
+	}
+	return f.fakeHost.SetMax(vm, j, q, p)
+}
+
+func newFlaky() *flakyHost { return &flakyHost{fakeHost: newFakeHost()} }
+
+func TestStepSurfacesHostErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(*flakyHost)
+	}{
+		{"list", func(f *flakyHost) { f.failList = true }},
+		{"usage", func(f *flakyHost) { f.failUsage = true }},
+		{"tid", func(f *flakyHost) { f.failTID = true }},
+		{"lastcpu", func(f *flakyHost) { f.failCPU = true }},
+		{"freq", func(f *flakyHost) { f.failFreq = true }},
+		{"setmax", func(f *flakyHost) { f.failSetMax = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newFlaky()
+			h.addVM("a", 1, 1200)
+			c := mustController(t, h, DefaultConfig())
+			if err := c.Step(); err != nil { // clean first step
+				t.Fatal(err)
+			}
+			h.consume("a", 0, 500_000)
+			tc.set(h)
+			if err := c.Step(); !errors.Is(err, errInjected) {
+				t.Fatalf("Step err = %v, want injected failure", err)
+			}
+		})
+	}
+}
+
+// After a failed step, recovery must be clean: the next successful step
+// runs and state stays consistent (no double-counted usage).
+func TestRecoveryAfterFailedStep(t *testing.T) {
+	h := newFlaky()
+	h.addVM("a", 1, 1200)
+	c := mustController(t, h, DefaultConfig())
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.consume("a", 0, 300_000)
+	h.failFreq = true
+	if err := c.Step(); err == nil {
+		t.Fatal("expected failure")
+	}
+	h.failFreq = false
+	h.consume("a", 0, 400_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	v := c.VM("a").VCPUs[0]
+	// The failed step already consumed the 300000 delta (monitor ran
+	// before the frequency read failed); the recovery step sees only
+	// the 400000 of the following period. Whatever the split, the
+	// cumulative bookkeeping must match the host counter.
+	if v.PrevUsageUs != 700_000 {
+		t.Fatalf("PrevUsageUs = %d, want 700000", v.PrevUsageUs)
+	}
+	if v.LastU != 400_000 {
+		t.Fatalf("LastU = %d, want 400000", v.LastU)
+	}
+}
+
+// A VM that disappears between steps is dropped without error, and its
+// reappearance is treated as a fresh VM (warm start).
+func TestVMChurn(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 2, 500)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Disappear.
+	saved := h.vms
+	h.vms = nil
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.VM("a") != nil {
+		t.Fatal("departed VM still tracked")
+	}
+	// Reappear with accumulated usage; must not be misread as a huge
+	// consumption delta.
+	h.vms = saved
+	h.consume("a", 0, 5_000_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.VM("a").VCPUs[0].LastU; got != 0 {
+		t.Fatalf("reappeared VM LastU = %d, want 0 (warm)", got)
+	}
+	h.consume("a", 0, 250_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.VM("a").VCPUs[0].LastU; got != 250_000 {
+		t.Fatalf("post-warm LastU = %d, want 250000", got)
+	}
+}
+
+// Property: for arbitrary consumption sequences, the controller never
+// produces a negative cap, never exceeds one core per vCPU, never lets a
+// wallet go negative, and never oversubscribes the machine with caps.
+func TestQuickControllerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newFakeHost()
+		nVMs := rng.Intn(4) + 1
+		for i := 0; i < nVMs; i++ {
+			h.addVM(fmt.Sprintf("vm%d", i), rng.Intn(3)+1,
+				int64(rng.Intn(2300)+100))
+		}
+		c, err := New(h, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 25; step++ {
+			for _, info := range h.vms {
+				for j := 0; j < info.VCPUs; j++ {
+					h.consume(info.Name, j, int64(rng.Intn(1_000_001)))
+				}
+			}
+			if err := c.Step(); err != nil {
+				return false
+			}
+			var total int64
+			for _, st := range c.VMs() {
+				if st.CreditUs < 0 {
+					return false
+				}
+				for _, v := range st.VCPUs {
+					if v.CapUs < 0 || v.CapUs > c.Config().PeriodUs {
+						return false
+					}
+					if v.EstUs < 0 || v.EstUs > c.Config().PeriodUs {
+						return false
+					}
+					total += v.CapUs
+				}
+			}
+			// Σcaps ≤ capacity holds whenever the guarantees are
+			// feasible (Eq. 7); an oversubscribed placement keeps
+			// every guarantee instead, so only per-vCPU bounds
+			// apply there.
+			if c.TotalGuaranteeUs() <= c.CapacityUs() && total > c.CapacityUs() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the guarantee is never starved — a saturated vCPU's cap never
+// drops below C_i once its history is warm, regardless of what the other
+// VMs do.
+func TestQuickGuaranteeNeverStarved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newFakeHost()
+		h.addVM("victim", 1, 1200) // C_i = 500000
+		h.addVM("noise", 2, 600)
+		c, err := New(h, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 20; step++ {
+			// The victim always consumes exactly its cap
+			// (saturated); the noise VM consumes randomly.
+			var victimCap int64 = 500_000
+			if st := c.VM("victim"); st != nil {
+				victimCap = st.VCPUs[0].CapUs
+			}
+			h.consume("victim", 0, victimCap)
+			h.consume("noise", 0, int64(rng.Intn(1_000_001)))
+			h.consume("noise", 1, int64(rng.Intn(1_000_001)))
+			if err := c.Step(); err != nil {
+				return false
+			}
+			if step < 3 {
+				continue // warm-up and convergence
+			}
+			if got := c.VM("victim").VCPUs[0].CapUs; got < 500_000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An oversubscribed placement (Eq. 7 violated upstream) must not panic or
+// produce a negative market; guarantees degrade but caps stay sane.
+func TestOversubscribedGuarantees(t *testing.T) {
+	h := newFakeHost() // 4 cores, capacity 4e6
+	// Guarantees: 3 VMs × 2 vCPUs × 2400 MHz = 6e6 > 4e6.
+	for i := 0; i < 3; i++ {
+		h.addVM(fmt.Sprintf("big%d", i), 2, 2400)
+	}
+	c := mustController(t, h, DefaultConfig())
+	for step := 0; step < 10; step++ {
+		for i := 0; i < 3; i++ {
+			h.consume(fmt.Sprintf("big%d", i), 0, 900_000)
+			h.consume(fmt.Sprintf("big%d", i), 1, 900_000)
+		}
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.market(); got != 0 {
+		t.Fatalf("oversubscribed market = %d, want clamped 0", got)
+	}
+	for _, st := range c.VMs() {
+		for _, v := range st.VCPUs {
+			if v.CapUs < 0 || v.CapUs > c.Config().PeriodUs {
+				t.Fatalf("cap %d out of range", v.CapUs)
+			}
+		}
+	}
+}
+
+// Config with a different control period: guarantees and quotas scale.
+func TestNonStandardPeriod(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.PeriodUs = 250_000 // 250 ms control period
+	cfg.CgroupPeriodUs = 50_000
+	cfg.WindowUs = 2_500
+	c := mustController(t, h, cfg)
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// C_i = 250000 × 1200/2400 = 125000.
+	if got := c.VM("a").GuaranteeUs; got != 125_000 {
+		t.Fatalf("guarantee = %d, want 125000", got)
+	}
+	h.consume("a", 0, 125_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	q := h.setMax[key("a", 0)]
+	if q[1] != 50_000 {
+		t.Fatalf("quota period = %d, want 50000", q[1])
+	}
+	if q[0] <= 0 || q[0] > 50_000 {
+		t.Fatalf("quota = %d out of range", q[0])
+	}
+}
+
+// Zero-vCPU guard: a host reporting a VM with no vCPUs is tolerated.
+func TestVMWithNoVCPUs(t *testing.T) {
+	h := newFakeHost()
+	h.vms = append(h.vms, platform.VMInfo{Name: "ghost", VCPUs: 0, FreqMHz: 500})
+	c := mustController(t, h, DefaultConfig())
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.VM("ghost"); st == nil || len(st.VCPUs) != 0 {
+		t.Fatal("ghost VM handling wrong")
+	}
+}

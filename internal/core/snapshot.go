@@ -1,0 +1,83 @@
+package core
+
+import "encoding/json"
+
+// Snapshot is a JSON-serialisable view of the controller state after a
+// Step, for telemetry, debugging and operator dashboards.
+type Snapshot struct {
+	Step             int64        `json:"step"`
+	Node             string       `json:"node"`
+	Cores            int          `json:"cores"`
+	MaxFreqMHz       int64        `json:"max_freq_mhz"`
+	CapacityUs       int64        `json:"capacity_us"`
+	TotalGuaranteeUs int64        `json:"total_guarantee_us"`
+	TotalCapUs       int64        `json:"total_cap_us"`
+	MarketUs         int64        `json:"market_us"`
+	StepMicros       int64        `json:"step_micros"`
+	MonitorMicros    int64        `json:"monitor_micros"`
+	VMs              []VMSnapshot `json:"vms"`
+}
+
+// VMSnapshot is one VM's controller state.
+type VMSnapshot struct {
+	Name        string         `json:"name"`
+	FreqMHz     int64          `json:"freq_mhz"`
+	GuaranteeUs int64          `json:"guarantee_us"`
+	CreditUs    int64          `json:"credit_us"`
+	VCPUs       []VCPUSnapshot `json:"vcpus"`
+}
+
+// VCPUSnapshot is one vCPU's controller state.
+type VCPUSnapshot struct {
+	Index       int     `json:"index"`
+	TID         int     `json:"tid"`
+	LastCore    int     `json:"last_core"`
+	ConsumedUs  int64   `json:"consumed_us"`
+	CapUs       int64   `json:"cap_us"`
+	EstimateUs  int64   `json:"estimate_us"`
+	VirtFreqMHz float64 `json:"virt_freq_mhz"`
+}
+
+// Snapshot captures the current controller state.
+func (c *Controller) Snapshot() Snapshot {
+	s := Snapshot{
+		Step:             c.steps,
+		Node:             c.node.Name,
+		Cores:            c.node.Cores,
+		MaxFreqMHz:       c.node.MaxFreqMHz,
+		CapacityUs:       c.CapacityUs(),
+		TotalGuaranteeUs: c.TotalGuaranteeUs(),
+		StepMicros:       c.timings.Total.Microseconds(),
+		MonitorMicros:    c.timings.Monitor.Microseconds(),
+	}
+	for _, name := range c.order {
+		st := c.vms[name]
+		vs := VMSnapshot{
+			Name:        st.Info.Name,
+			FreqMHz:     st.Info.FreqMHz,
+			GuaranteeUs: st.GuaranteeUs,
+			CreditUs:    st.CreditUs,
+		}
+		for _, v := range st.VCPUs {
+			vs.VCPUs = append(vs.VCPUs, VCPUSnapshot{
+				Index:       v.Index,
+				TID:         v.TID,
+				LastCore:    v.LastCore,
+				ConsumedUs:  v.LastU,
+				CapUs:       v.CapUs,
+				EstimateUs:  v.EstUs,
+				VirtFreqMHz: v.FreqMHz,
+			})
+			s.TotalCapUs += v.CapUs
+		}
+		s.VMs = append(s.VMs, vs)
+	}
+	s.MarketUs = s.CapacityUs - s.TotalCapUs
+	if s.MarketUs < 0 {
+		s.MarketUs = 0
+	}
+	return s
+}
+
+// JSON renders the snapshot.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }

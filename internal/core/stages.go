@@ -1,0 +1,220 @@
+package core
+
+// estimateAll implements stage 2: per-vCPU estimation of the upcoming
+// consumption, using the Eq. 3 trend over the consumption history and the
+// trigger/factor mechanism of §III-B2.
+func (c *Controller) estimateAll() {
+	for _, name := range c.order {
+		for _, v := range c.vms[name].VCPUs {
+			v.EstUs = c.estimate(v)
+		}
+	}
+}
+
+// estimate computes e_{i,j,t} for one vCPU.
+func (c *Controller) estimate(v *VCPUState) int64 {
+	if v.Hist.Len() == 0 {
+		// No consumption has been observed yet: keep the initial
+		// guarantee-level estimate rather than reacting to a
+		// phantom zero sample.
+		return v.EstUs
+	}
+	cap := v.CapUs
+	if cap < c.cfg.MinQuotaUs {
+		cap = c.cfg.MinQuotaUs
+	}
+	u := v.LastU
+	trend := v.Hist.Trend()
+	// The stability margin is relative to the magnitude of the signal.
+	eps := c.cfg.StableMargin * v.Hist.Mean()
+	if eps < 1 {
+		eps = 1
+	}
+
+	var est int64
+	switch {
+	case trend > eps && float64(u) >= c.cfg.IncreaseTrigger*float64(cap):
+		// a) consumption is rising and pushing against the cap:
+		// raise by the increase factor for fast convergence.
+		est = int64(float64(cap) * (1 + c.cfg.IncreaseFactor))
+	case trend < -eps && float64(u) <= c.cfg.DecreaseTrigger*float64(cap):
+		// b) consumption is falling well below the cap: shrink
+		// gently to avoid oscillation.
+		est = int64(float64(cap) * (1 - c.cfg.DecreaseFactor))
+	default:
+		// c) stable: recalibrate just above the observed
+		// consumption so the increase trigger does not fire next
+		// iteration, while wasting as few cycles as possible.
+		est = int64(float64(u)/c.cfg.IncreaseTrigger) + 1
+	}
+	if est < c.cfg.MinQuotaUs {
+		est = c.cfg.MinQuotaUs
+	}
+	// A vCPU is a single thread: it can never use more than one core.
+	if est > c.cfg.PeriodUs {
+		est = c.cfg.PeriodUs
+	}
+	return est
+}
+
+// enforceBase implements stage 3: award credits (Eq. 4) and set the base
+// capping c = min(e, C_i) (Eq. 5).
+func (c *Controller) enforceBase() {
+	for _, name := range c.order {
+		st := c.vms[name]
+		// Eq. 4: credits accrue for every vCPU consuming less than
+		// the guarantee. vCPUs without a measurement yet earn
+		// nothing.
+		for _, v := range st.VCPUs {
+			if v.Hist.Len() > 0 && st.GuaranteeUs > v.LastU {
+				st.CreditUs += st.GuaranteeUs - v.LastU
+			}
+		}
+		if c.cfg.CreditCapPeriods > 0 {
+			cap := c.cfg.CreditCapPeriods * st.GuaranteeUs * int64(len(st.VCPUs))
+			if st.CreditUs > cap {
+				st.CreditUs = cap
+			}
+		}
+		// Eq. 5: guarantee the base frequency, never allocate more
+		// than estimated.
+		for _, v := range st.VCPUs {
+			if v.EstUs < st.GuaranteeUs {
+				v.CapUs = v.EstUs
+			} else {
+				v.CapUs = st.GuaranteeUs
+			}
+		}
+	}
+}
+
+// auction implements stage 4 (Algorithm 1): sell the market's cycles to
+// buyers, window-limited per round, charging the VM wallets. It returns
+// the cycles left unsold.
+func (c *Controller) auction(market int64) int64 {
+	if market <= 0 {
+		return 0
+	}
+	buyers := c.buyers()
+	for market > 0 && len(buyers) > 0 {
+		c.sortByCredit(buyers)
+		progress := false
+		next := buyers[:0]
+		for _, v := range buyers {
+			st := c.vms[v.VM]
+			if market <= 0 {
+				next = append(next, v)
+				continue
+			}
+			amount := c.cfg.WindowUs
+			if want := v.EstUs - v.CapUs; amount > want {
+				amount = want
+			}
+			if amount > market {
+				amount = market
+			}
+			if amount > st.CreditUs {
+				amount = st.CreditUs
+			}
+			if amount > 0 {
+				v.CapUs += amount
+				st.CreditUs -= amount
+				market -= amount
+				progress = true
+			}
+			if v.CapUs < v.EstUs && st.CreditUs > 0 {
+				next = append(next, v)
+			}
+		}
+		buyers = next
+		if !progress {
+			break // nobody can afford anything
+		}
+	}
+	return market
+}
+
+// distribute implements stage 5: the cycles the auction could not sell are
+// given away to still-hungry vCPUs, proportionally to their residual
+// demand (e − c).
+func (c *Controller) distribute(market int64) {
+	if market <= 0 {
+		return
+	}
+	hungry := c.buyers()
+	var total int64
+	for _, v := range hungry {
+		total += v.EstUs - v.CapUs
+	}
+	if total <= 0 {
+		return
+	}
+	if market > total {
+		market = total
+	}
+	remaining := market
+	for _, v := range hungry {
+		give := market * (v.EstUs - v.CapUs) / total
+		if give > remaining {
+			give = remaining
+		}
+		v.CapUs += give
+		remaining -= give
+	}
+	// Integer floor remainders: one extra microsecond each until spent.
+	for remaining > 0 {
+		progress := false
+		for _, v := range hungry {
+			if remaining == 0 {
+				break
+			}
+			if v.CapUs < v.EstUs {
+				v.CapUs++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// apply implements stage 6: translate the per-vCPU cycle allocations into
+// cgroup cpu.max quotas. Allocations are expressed per control period p;
+// quotas are written against the (shorter) cgroup bandwidth period.
+func (c *Controller) apply() error {
+	for _, name := range c.order {
+		for _, v := range c.vms[name].VCPUs {
+			quota := v.CapUs * c.cfg.CgroupPeriodUs / c.cfg.PeriodUs
+			if quota < c.cfg.MinQuotaUs {
+				quota = c.cfg.MinQuotaUs
+			}
+			if err := c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err != nil {
+				return err
+			}
+			if c.cfg.BurstFraction > 0 {
+				burst := int64(float64(quota) * c.cfg.BurstFraction)
+				if err := c.host.SetBurst(v.VM, v.Index, burst); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalGuaranteeUs returns Σ C_i × vCPUs over all hosted VMs, useful to
+// check the Eq. 7 feasibility of the current placement.
+func (c *Controller) TotalGuaranteeUs() int64 {
+	var total int64
+	for _, st := range c.vms {
+		total += st.GuaranteeUs * int64(len(st.VCPUs))
+	}
+	return total
+}
+
+// CapacityUs returns the machine capacity per period (cores × p).
+func (c *Controller) CapacityUs() int64 {
+	return int64(c.node.Cores) * c.cfg.PeriodUs
+}

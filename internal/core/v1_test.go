@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"testing"
+
+	"vfreq/internal/core"
+	"vfreq/internal/platform"
+	"vfreq/internal/vm"
+)
+
+// The paper: "There are two versions of cgroup in Linux, however the
+// version is not important as our controller works on both." The same
+// controller, driven through the v1 file dialect, enforces the same
+// guarantees.
+func TestControllerWorksOnCgroupV1(t *testing.T) {
+	mgr := testNode(t, 2)
+	slow := vm.Template{Name: "slow", VCPUs: 2, FreqMHz: 600, MemoryGB: 2}
+	fast := vm.Template{Name: "fast", VCPUs: 2, FreqMHz: 1800, MemoryGB: 2}
+	if _, err := mgr.Provision("slow", slow, busySources(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Provision("fast", fast, busySources(2)); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := platform.NewSimV1(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.New(v1, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := run(t, mgr, ctrl, 20, 10)
+	if f := freqs["slow"]; f < 570 || f > 700 {
+		t.Fatalf("v1-driven slow VM at %.0f MHz, want ≈600", f)
+	}
+	if f := freqs["fast"]; f < 1710 || f > 1900 {
+		t.Fatalf("v1-driven fast VM at %.0f MHz, want ≈1800", f)
+	}
+}

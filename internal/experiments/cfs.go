@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vfreq/internal/host"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+// CFSResult reports the outcome of the paper's two CFS-sharing probe
+// experiments (§IV-A2).
+type CFSResult struct {
+	// Spread is max/min per-vCPU usage across all vCPUs.
+	Spread float64
+	// OneVCPUShare is the fraction of total CPU time received by the
+	// 1-vCPU VMs (experiment b only; 0 otherwise).
+	OneVCPUShare float64
+}
+
+// CFSExperimentA runs the paper's experiment a): 20 saturated VMs with 4
+// vCPUs each on chetemi, no controller. Expected: all vCPUs run at the
+// same speed (spread ≈ 1).
+func CFSExperimentA(durationUs int64) (*CFSResult, error) {
+	machine, err := host.New(host.Chetemi())
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := vm.NewManager(machine)
+	if err != nil {
+		return nil, err
+	}
+	tpl := vm.Template{Name: "quad", VCPUs: 4, FreqMHz: 2400, MemoryGB: 4}
+	var insts []*vm.Instance
+	for i := 0; i < 20; i++ {
+		srcs := []workload.Source{workload.Busy(), workload.Busy(), workload.Busy(), workload.Busy()}
+		inst, err := mgr.Provision(fmt.Sprintf("quad-%02d", i), tpl, srcs)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, inst)
+	}
+	machine.Advance(durationUs)
+	var min, max int64 = 1 << 62, 0
+	for _, inst := range insts {
+		for j := 0; j < 4; j++ {
+			u := inst.VCPUThread(j).UsageUs
+			if u < min {
+				min = u
+			}
+			if u > max {
+				max = u
+			}
+		}
+	}
+	if min == 0 {
+		return nil, fmt.Errorf("experiments: a vCPU never ran")
+	}
+	return &CFSResult{Spread: float64(max) / float64(min)}, nil
+}
+
+// CFSExperimentB runs the paper's experiment b): 40 VMs with 1 vCPU and 10
+// VMs with 4 vCPUs, all saturated, on chetemi. Expected: the 1-vCPU VMs
+// receive 4/5 of the resources because CFS shares per VM, not per vCPU.
+func CFSExperimentB(durationUs int64) (*CFSResult, error) {
+	machine, err := host.New(host.Chetemi())
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := vm.NewManager(machine)
+	if err != nil {
+		return nil, err
+	}
+	uni := vm.Template{Name: "uni", VCPUs: 1, FreqMHz: 2400, MemoryGB: 1}
+	quad := vm.Template{Name: "quad", VCPUs: 4, FreqMHz: 2400, MemoryGB: 4}
+	var ones, fours []*vm.Instance
+	for i := 0; i < 40; i++ {
+		inst, err := mgr.Provision(fmt.Sprintf("uni-%02d", i), uni,
+			[]workload.Source{workload.Busy()})
+		if err != nil {
+			return nil, err
+		}
+		ones = append(ones, inst)
+	}
+	for i := 0; i < 10; i++ {
+		srcs := []workload.Source{workload.Busy(), workload.Busy(), workload.Busy(), workload.Busy()}
+		inst, err := mgr.Provision(fmt.Sprintf("quad-%02d", i), quad, srcs)
+		if err != nil {
+			return nil, err
+		}
+		fours = append(fours, inst)
+	}
+	machine.Advance(durationUs)
+	var oneTot, fourTot int64
+	for _, inst := range ones {
+		oneTot += inst.VCPUThread(0).UsageUs
+	}
+	for _, inst := range fours {
+		for j := 0; j < 4; j++ {
+			fourTot += inst.VCPUThread(j).UsageUs
+		}
+	}
+	if oneTot+fourTot == 0 {
+		return nil, fmt.Errorf("experiments: nothing ran")
+	}
+	return &CFSResult{
+		OneVCPUShare: float64(oneTot) / float64(oneTot+fourTot),
+	}, nil
+}

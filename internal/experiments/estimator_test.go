@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig3IncreaseBehaviour(t *testing.T) {
+	rec, err := Fig3Case().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := rec.Series("consumption")
+	cap := rec.Series("capping")
+	if cons == nil || cap == nil {
+		t.Fatal("missing series")
+	}
+	// The capping always admits the rising demand eventually: by the
+	// end both sit at the full core.
+	last := cap.Values[cap.Len()-1]
+	if last < 999 { // kcycles
+		t.Fatalf("final cap = %.0f kcycles, want ≈1000 (full core)", last)
+	}
+	// Somewhere along the ramp the cap at least doubles in one step
+	// (the increase factor).
+	doubled := false
+	for i := 1; i < cap.Len(); i++ {
+		if cap.Values[i] >= 1.9*cap.Values[i-1] {
+			doubled = true
+			break
+		}
+	}
+	if !doubled {
+		t.Fatal("increase factor never produced a doubling step")
+	}
+}
+
+func TestFig4DecreaseBehaviour(t *testing.T) {
+	rec, err := Fig4Case().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := rec.Series("consumption")
+	cap := rec.Series("capping")
+	// The capping never cuts below what the workload consumed (no
+	// starvation during the ramp-down) and ends close to the floor.
+	for i := 0; i < cons.Len(); i++ {
+		if cap.Values[i] < cons.Values[i]-1 {
+			t.Fatalf("iteration %d: cap %.0f below consumption %.0f",
+				i, cap.Values[i], cons.Values[i])
+		}
+	}
+	last := cap.Values[cap.Len()-1]
+	if last > 150 { // consumption floor is 100 kcycles
+		t.Fatalf("final cap = %.0f kcycles, want near the 100 kcycle floor", last)
+	}
+}
+
+func TestFig5StableBehaviour(t *testing.T) {
+	rec, err := Fig5Case().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := rec.Series("consumption")
+	cap := rec.Series("capping")
+	// After settling, the cap sits just above the ~600 kcycle
+	// consumption: above it, but within ~10 %.
+	for i := 3; i < cap.Len(); i++ {
+		ratio := cap.Values[i] / cons.Values[i]
+		if ratio < 1.0 || ratio > 1.12 {
+			t.Fatalf("iteration %d: cap/consumption = %.3f, want (1.00, 1.12]", i, ratio)
+		}
+	}
+}
+
+func TestEstimatorFigureRenders(t *testing.T) {
+	out, err := EstimatorFigure(Fig5Case(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "capping") || !strings.Contains(out, "consumption") {
+		t.Fatalf("chart incomplete:\n%s", out)
+	}
+}

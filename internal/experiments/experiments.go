@@ -1,0 +1,276 @@
+// Package experiments reproduces the paper's evaluation: every figure and
+// table of Section IV is backed by a runner here. Frequency experiments
+// (Figs. 6–9, 12–13) co-host VM classes on a simulated node and record the
+// per-class mean virtual frequency over time, with the controller either
+// enabled (execution B) or in monitoring-only mode (execution A).
+// Benchmark-efficiency experiments (Figs. 10, 11, 14) report the per-run
+// rates of the compress workload. The CFS-sharing experiments a)/b), the
+// placement comparison (§IV-C) and the controller-overhead measurement
+// round out the set.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vfreq/internal/core"
+	"vfreq/internal/host"
+	"vfreq/internal/platform"
+	"vfreq/internal/trace"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+// BenchKind selects the synthetic benchmark a class runs.
+type BenchKind string
+
+const (
+	Compress BenchKind = "compress-7zip"
+	OpenSSL  BenchKind = "openssl"
+	IdleLoad BenchKind = "idle"
+)
+
+// Class describes one set of identical VM instances in an experiment
+// (one row of the paper's Tables II, III and V).
+type Class struct {
+	Template     vm.Template
+	Count        int
+	Kind         BenchKind
+	StartUs      int64 // when the class's workload begins
+	Runs         int   // benchmark iterations
+	CyclesPerRun int64 // work per thread per iteration
+	// StaggerUs offsets instance k's start by k·StaggerUs, modelling
+	// the natural de-synchronisation of real benchmark launches (the
+	// paper starts workloads by hand across tens of VMs).
+	StaggerUs int64
+	// DipUs is the inter-run synchronisation pause of the compress
+	// benchmark (0 for none). Scale() shrinks it with the run length.
+	DipUs int64
+}
+
+// FreqExperiment is a frequency-over-time experiment on one node.
+type FreqExperiment struct {
+	Node       host.Spec
+	Classes    []Class
+	Controlled bool // true = execution B, false = execution A
+	DurationUs int64
+	TickUs     int64       // scheduler tick; 0 = host default
+	Config     core.Config // zero value = DefaultConfig
+}
+
+// FreqResult aggregates an experiment's outputs.
+type FreqResult struct {
+	// Rec holds one series per class with the ground-truth mean vCPU
+	// frequency (MHz) sampled every control period, plus "<class>:est"
+	// series with the controller's own monitored estimate.
+	Rec *trace.Recorder
+	// Benches maps class name to the benchmark of every instance.
+	Benches map[string][]*workload.Bench
+	// AvgCoreVarMHz is the mean per-step variance of core frequencies,
+	// the statistic the paper reports (16–150 MHz²).
+	AvgCoreVarMHz float64
+	// AvgStep and AvgMonitor are the mean wall-clock controller
+	// iteration and monitoring-stage costs (the paper's 5 ms / 4 ms).
+	AvgStep, AvgMonitor time.Duration
+	// EnergyJoules is the node's consumed energy over the experiment.
+	EnergyJoules float64
+	// SLAViolations maps class name to the fraction of
+	// (instance, period) samples in which the instance had pending
+	// benchmark work yet attained less than 95 % of its template
+	// frequency — the paper's predictability argument quantified.
+	SLAViolations map[string]float64
+	// Controller exposes the final controller state.
+	Controller *core.Controller
+	// Manager exposes the VM manager for further inspection.
+	Manager *vm.Manager
+}
+
+// instance bundles a provisioned VM with its class and bench.
+type instance struct {
+	class string
+	inst  *vm.Instance
+	bench *workload.Bench
+}
+
+// Run executes the experiment.
+func (e FreqExperiment) Run() (*FreqResult, error) {
+	if e.DurationUs <= 0 {
+		return nil, fmt.Errorf("experiments: duration must be positive")
+	}
+	if len(e.Classes) == 0 {
+		return nil, fmt.Errorf("experiments: no classes")
+	}
+	machine, err := host.New(e.Node)
+	if err != nil {
+		return nil, err
+	}
+	if e.TickUs > 0 {
+		machine.TickUs = e.TickUs
+	}
+	mgr, err := vm.NewManager(machine)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.Config
+	if cfg.PeriodUs == 0 {
+		cfg = core.DefaultConfig()
+	}
+	cfg.ControlEnabled = e.Controlled
+
+	res := &FreqResult{
+		Rec:           trace.NewRecorder(),
+		Benches:       map[string][]*workload.Bench{},
+		Manager:       mgr,
+		SLAViolations: map[string]float64{},
+	}
+	var insts []instance
+	for _, cl := range e.Classes {
+		for k := 0; k < cl.Count; k++ {
+			name := fmt.Sprintf("%s-%02d", cl.Template.Name, k)
+			start := cl.StartUs + int64(k)*cl.StaggerUs
+			var srcs []workload.Source
+			var bench *workload.Bench
+			switch cl.Kind {
+			case Compress:
+				bench, err = workload.NewBench(string(Compress), cl.Template.VCPUs, cl.CyclesPerRun, cl.Runs, start, cl.DipUs)
+			case OpenSSL:
+				bench, err = workload.NewOpenSSL(cl.Template.VCPUs, cl.CyclesPerRun, cl.Runs, start)
+			case IdleLoad:
+				bench = nil
+			default:
+				return nil, fmt.Errorf("experiments: unknown bench kind %q", cl.Kind)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if bench != nil {
+				srcs = bench.Sources()
+				res.Benches[cl.Template.Name] = append(res.Benches[cl.Template.Name], bench)
+			}
+			inst, err := mgr.Provision(name, cl.Template, srcs)
+			if err != nil {
+				return nil, err
+			}
+			insts = append(insts, instance{class: cl.Template.Name, inst: inst, bench: bench})
+		}
+	}
+
+	ctrl, err := core.New(platform.NewSim(mgr), cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Controller = ctrl
+
+	period := cfg.PeriodUs
+	steps := int(e.DurationUs / period)
+	var varSum float64
+	var stepSum, monSum time.Duration
+	slaSamples := map[string]int{}
+	slaViolated := map[string]int{}
+	snaps := make([][]int64, len(insts))
+	for s := 0; s < steps; s++ {
+		for i := range insts {
+			snaps[i] = insts[i].inst.SnapshotCycles()
+		}
+		machine.Advance(period)
+		if err := ctrl.Step(); err != nil {
+			return nil, err
+		}
+		tm := ctrl.LastTimings()
+		stepSum += tm.Total
+		monSum += tm.Monitor
+		varSum += machine.DVFS.VarianceMHz()
+
+		tSec := float64(machine.NowUs()) / 1e6
+		// Ground-truth per-class mean frequency, plus SLA accounting
+		// for instances with pending work.
+		classSum := map[string]float64{}
+		classN := map[string]int{}
+		for i := range insts {
+			f := insts[i].inst.MeanVCPUFreqMHz(snaps[i], period)
+			classSum[insts[i].class] += f
+			classN[insts[i].class]++
+			if b := insts[i].bench; b != nil && b.Running(machine.NowUs()-period) {
+				slaSamples[insts[i].class]++
+				if f < 0.95*float64(insts[i].inst.Template().FreqMHz) {
+					slaViolated[insts[i].class]++
+				}
+			}
+		}
+		for _, cl := range e.Classes {
+			n := classN[cl.Template.Name]
+			if n == 0 {
+				continue
+			}
+			res.Rec.Record(cl.Template.Name, tSec, classSum[cl.Template.Name]/float64(n))
+		}
+		// Controller-monitored estimates.
+		estSum := map[string]float64{}
+		estN := map[string]int{}
+		for _, st := range ctrl.VMs() {
+			class := classOf(st.Info.Name)
+			for _, v := range st.VCPUs {
+				estSum[class] += v.FreqMHz
+				estN[class]++
+			}
+		}
+		for _, cl := range e.Classes {
+			if n := estN[cl.Template.Name]; n > 0 {
+				res.Rec.Record(cl.Template.Name+":est", tSec, estSum[cl.Template.Name]/float64(n))
+			}
+		}
+	}
+	if steps > 0 {
+		res.AvgCoreVarMHz = varSum / float64(steps)
+		res.AvgStep = stepSum / time.Duration(steps)
+		res.AvgMonitor = monSum / time.Duration(steps)
+	}
+	res.EnergyJoules = machine.Meter.Joules()
+	for class, n := range slaSamples {
+		if n > 0 {
+			res.SLAViolations[class] = float64(slaViolated[class]) / float64(n)
+		}
+	}
+	return res, nil
+}
+
+// classOf strips the "-NN" instance suffix.
+func classOf(instanceName string) string {
+	for i := len(instanceName) - 1; i >= 0; i-- {
+		if instanceName[i] == '-' {
+			return instanceName[:i]
+		}
+	}
+	return instanceName
+}
+
+// MeanRateByClass returns the mean benchmark rate (MHz) per run index,
+// averaged over a class's instances — the data behind Figs. 10/11/14.
+func (r *FreqResult) MeanRateByClass(class string) []float64 {
+	benches := r.Benches[class]
+	if len(benches) == 0 {
+		return nil
+	}
+	maxRuns := 0
+	for _, b := range benches {
+		if n := len(b.Results()); n > maxRuns {
+			maxRuns = n
+		}
+	}
+	out := make([]float64, maxRuns)
+	for run := 0; run < maxRuns; run++ {
+		var sum float64
+		n := 0
+		for _, b := range benches {
+			res := b.Results()
+			if run < len(res) {
+				sum += res[run].RateMHz()
+				n++
+			}
+		}
+		if n > 0 {
+			out[run] = sum / float64(n)
+		}
+	}
+	return out
+}

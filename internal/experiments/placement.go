@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vfreq/internal/placement"
+)
+
+// PlacementRow is one line of the §IV-C comparison.
+type PlacementRow struct {
+	Label              string
+	Algorithm          placement.Algorithm
+	Policy             placement.Policy
+	UsedNodes          int
+	Unplaced           int
+	MaxLargePerChiclet int
+	MaxSmallPerChetemi int
+	IdleSavingsWatts   float64
+	ActiveWatts        float64
+}
+
+// PaperCluster returns the §IV-C infrastructure: 12 chetemi and 10
+// chiclet nodes.
+func PaperCluster() []placement.NodeSpec {
+	var nodes []placement.NodeSpec
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, placement.NodeSpec{
+			Name: "chetemi", Cores: 40, MaxFreqMHz: 2400, MemoryGB: 256,
+			IdleWatts: 97, MaxWatts: 220,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, placement.NodeSpec{
+			Name: "chiclet", Cores: 64, MaxFreqMHz: 2400, MemoryGB: 128,
+			IdleWatts: 110, MaxWatts: 190,
+		})
+	}
+	return nodes
+}
+
+// PaperWorkload returns the §IV-C workload: 250 small, 50 medium and 100
+// large VMs.
+func PaperWorkload() []placement.VMSpec {
+	var vms []placement.VMSpec
+	add := func(tpl string, n, vcpus int, freq int64, mem int) {
+		for i := 0; i < n; i++ {
+			vms = append(vms, placement.VMSpec{
+				Name:     fmt.Sprintf("%s-%03d", tpl, i),
+				Template: tpl, VCPUs: vcpus, FreqMHz: freq, MemoryGB: mem,
+			})
+		}
+	}
+	add("small", 250, 2, 500, 2)
+	add("medium", 50, 4, 1200, 4)
+	add("large", 100, 4, 1800, 8)
+	return vms
+}
+
+// RunPlacementComparison reproduces the §IV-C evaluation: BestFit under
+// the classic constraint, under Eq. 7, and under a ×1.8 consolidation
+// factor, plus the stricter per-core splitting variant.
+func RunPlacementComparison() ([]PlacementRow, error) {
+	nodes := PaperCluster()
+	cases := []struct {
+		label  string
+		alg    placement.Algorithm
+		policy placement.Policy
+	}{
+		{"BestFit / vCPU-count (classic)", placement.BestFit,
+			placement.Policy{Mode: placement.CoreCount, Factor: 1}},
+		{"BestFit / virtual frequency (Eq. 7)", placement.BestFit,
+			placement.Policy{Mode: placement.VirtualFrequency, Factor: 1, Memory: true}},
+		{"BestFit / vCPU-count ×1.8 consolidation", placement.BestFit,
+			placement.Policy{Mode: placement.CoreCount, Factor: 1.8}},
+		{"BestFit / Eq. 7 + per-core splitting", placement.BestFit,
+			placement.Policy{Mode: placement.VirtualFrequency, Factor: 1, Memory: true, CoreSplitting: true}},
+		{"FirstFit / virtual frequency (Eq. 7)", placement.FirstFit,
+			placement.Policy{Mode: placement.VirtualFrequency, Factor: 1, Memory: true}},
+	}
+	var rows []PlacementRow
+	for _, c := range cases {
+		res, err := placement.Place(c.alg, nodes, PaperWorkload(), c.policy)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", c.label, err)
+		}
+		rows = append(rows, PlacementRow{
+			Label:              c.label,
+			Algorithm:          c.alg,
+			Policy:             c.policy,
+			UsedNodes:          res.UsedNodes(),
+			Unplaced:           len(res.Unplaced),
+			MaxLargePerChiclet: res.MaxPerNode("chiclet", "large"),
+			MaxSmallPerChetemi: res.MaxPerNode("chetemi", "small"),
+			IdleSavingsWatts:   res.IdlePowerSavingsWatts(),
+			ActiveWatts:        res.ActivePowerWatts(),
+		})
+	}
+	return rows, nil
+}

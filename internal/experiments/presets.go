@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"vfreq/internal/core"
+	"vfreq/internal/host"
+	"vfreq/internal/vm"
+)
+
+// Work sizing for the full-fidelity runs. One compress-7zip iteration is
+// 140 G cycles per thread: ≈58 s at 2.4 GHz, so that (as in the paper's
+// Figs. 6/7) the small instances complete about three uncontended
+// iterations before the large instances start at t = 200 s. The openssl
+// workload of the medium instances is one 600 G-cycle batch per thread:
+// it bursts at 2.4 GHz until the large instances start, then grinds at
+// its 1.2 GHz guarantee and completes around t = 500 s, releasing its
+// cycles, as in Fig. 13.
+const (
+	compressCyclesPerRun = 140_000_000_000
+	compressRuns         = 15
+	opensslCycles        = 600_000_000_000
+
+	// Durations: the frequency figures show a ~700 s window; the
+	// efficiency figures need all 15 iterations to finish.
+	freqWindowUs       = 700_000_000
+	efficiencyWindowUs = 2_500_000_000
+	largeStartUs       = 200_000_000
+	mediumStartUs      = 100_000_000
+	// staggerUs spreads the manual workload launches inside a class by
+	// 1 s per instance, as hand-started benchmarks naturally are.
+	staggerUs = 1_000_000
+	// dipUs is the compress benchmark's 2 s synchronisation pause
+	// between iterations.
+	dipUs = 2_000_000
+)
+
+// Table2Classes is the paper's Table II: the workload deployed on chetemi.
+func Table2Classes() []Class {
+	return []Class{
+		{Template: vm.Small(), Count: 20, Kind: Compress, StartUs: 0,
+			Runs: compressRuns, CyclesPerRun: compressCyclesPerRun, StaggerUs: staggerUs, DipUs: dipUs},
+		{Template: vm.Large(), Count: 10, Kind: Compress, StartUs: largeStartUs,
+			Runs: compressRuns, CyclesPerRun: compressCyclesPerRun, StaggerUs: staggerUs, DipUs: dipUs},
+	}
+}
+
+// Table3Classes is the paper's Table III: the workload deployed on
+// chiclet.
+func Table3Classes() []Class {
+	return []Class{
+		{Template: vm.Small(), Count: 32, Kind: Compress, StartUs: 0,
+			Runs: compressRuns, CyclesPerRun: compressCyclesPerRun, StaggerUs: staggerUs, DipUs: dipUs},
+		{Template: vm.Large(), Count: 16, Kind: Compress, StartUs: largeStartUs,
+			Runs: compressRuns, CyclesPerRun: compressCyclesPerRun, StaggerUs: staggerUs, DipUs: dipUs},
+	}
+}
+
+// Table5Classes is the paper's Table V: the heterogeneous second
+// evaluation on chetemi.
+func Table5Classes() []Class {
+	return []Class{
+		{Template: vm.Small(), Count: 14, Kind: Compress, StartUs: 0,
+			Runs: compressRuns, CyclesPerRun: compressCyclesPerRun, StaggerUs: staggerUs, DipUs: dipUs},
+		{Template: vm.Medium(), Count: 8, Kind: OpenSSL, StartUs: mediumStartUs,
+			Runs: 1, CyclesPerRun: opensslCycles, StaggerUs: staggerUs},
+		{Template: vm.Large(), Count: 6, Kind: Compress, StartUs: largeStartUs,
+			Runs: compressRuns, CyclesPerRun: compressCyclesPerRun, StaggerUs: staggerUs, DipUs: dipUs},
+	}
+}
+
+// Fig6 reproduces Fig. 6: chetemi, execution A (no control).
+func Fig6() FreqExperiment {
+	return FreqExperiment{Node: host.Chetemi(), Classes: Table2Classes(),
+		Controlled: false, DurationUs: freqWindowUs}
+}
+
+// Fig7 reproduces Fig. 7: chetemi, execution B (controller enabled).
+func Fig7() FreqExperiment {
+	return FreqExperiment{Node: host.Chetemi(), Classes: Table2Classes(),
+		Controlled: true, DurationUs: freqWindowUs}
+}
+
+// Fig8 reproduces Fig. 8: chiclet, execution A.
+func Fig8() FreqExperiment {
+	return FreqExperiment{Node: host.Chiclet(), Classes: Table3Classes(),
+		Controlled: false, DurationUs: freqWindowUs}
+}
+
+// Fig9 reproduces Fig. 9: chiclet, execution B.
+func Fig9() FreqExperiment {
+	return FreqExperiment{Node: host.Chiclet(), Classes: Table3Classes(),
+		Controlled: true, DurationUs: freqWindowUs}
+}
+
+// Fig10 reproduces Fig. 10: compression efficiency of the small instances
+// on chetemi, both executions run to benchmark completion.
+func Fig10() (execA, execB FreqExperiment) {
+	execA = FreqExperiment{Node: host.Chetemi(), Classes: Table2Classes(),
+		Controlled: false, DurationUs: efficiencyWindowUs}
+	execB = execA
+	execB.Controlled = true
+	return execA, execB
+}
+
+// Fig11 reproduces Fig. 11: compression efficiency on chiclet.
+func Fig11() (execA, execB FreqExperiment) {
+	execA = FreqExperiment{Node: host.Chiclet(), Classes: Table3Classes(),
+		Controlled: false, DurationUs: efficiencyWindowUs}
+	execB = execA
+	execB.Controlled = true
+	return execA, execB
+}
+
+// Fig12 reproduces Fig. 12: second evaluation on chetemi, execution A.
+func Fig12() FreqExperiment {
+	return FreqExperiment{Node: host.Chetemi(), Classes: Table5Classes(),
+		Controlled: false, DurationUs: freqWindowUs}
+}
+
+// Fig13 reproduces Fig. 13: second evaluation, execution B.
+func Fig13() FreqExperiment {
+	return FreqExperiment{Node: host.Chetemi(), Classes: Table5Classes(),
+		Controlled: true, DurationUs: freqWindowUs}
+}
+
+// Fig14 reproduces Fig. 14: compression efficiency of the small instances
+// in the second evaluation, both executions.
+func Fig14() (execA, execB FreqExperiment) {
+	execA = FreqExperiment{Node: host.Chetemi(), Classes: Table5Classes(),
+		Controlled: false, DurationUs: efficiencyWindowUs}
+	execB = execA
+	execB.Controlled = true
+	return execA, execB
+}
+
+// Scale shrinks an experiment by the given factor (0 < f ≤ 1): benchmark
+// work, start offsets, duration AND the controller's time constants
+// (control period, cgroup bandwidth period, auction window, minimum
+// quota) all scale together. Scaling every clock in the system preserves
+// the full experiment's dynamics — convergence transients occupy the same
+// fraction of a benchmark run — at a fraction of the simulation cost.
+// Used by tests and the bench harness.
+func Scale(e FreqExperiment, f float64) FreqExperiment {
+	if f <= 0 || f > 1 {
+		return e
+	}
+	out := e
+	out.DurationUs = int64(float64(e.DurationUs) * f)
+	out.Classes = make([]Class, len(e.Classes))
+	for i, cl := range e.Classes {
+		cl.StartUs = int64(float64(cl.StartUs) * f)
+		cl.StaggerUs = int64(float64(cl.StaggerUs) * f)
+		cl.DipUs = int64(float64(cl.DipUs) * f)
+		cl.CyclesPerRun = int64(float64(cl.CyclesPerRun) * f)
+		out.Classes[i] = cl
+	}
+	cfg := e.Config
+	if cfg.PeriodUs == 0 {
+		cfg = core.DefaultConfig()
+	}
+	scaleDur := func(d int64, floor int64) int64 {
+		d = int64(float64(d) * f)
+		if d < floor {
+			d = floor
+		}
+		return d
+	}
+	cfg.PeriodUs = scaleDur(cfg.PeriodUs, 10_000)
+	cfg.CgroupPeriodUs = scaleDur(cfg.CgroupPeriodUs, 10_000)
+	cfg.WindowUs = scaleDur(cfg.WindowUs, 100)
+	cfg.MinQuotaUs = scaleDur(cfg.MinQuotaUs, 10)
+	if cfg.CgroupPeriodUs > cfg.PeriodUs {
+		cfg.CgroupPeriodUs = cfg.PeriodUs
+	}
+	out.Config = cfg
+	// Keep the scheduler tick no coarser than the cgroup period so
+	// bandwidth windows stay meaningful.
+	if out.TickUs == 0 || out.TickUs > cfg.CgroupPeriodUs {
+		out.TickUs = cfg.CgroupPeriodUs
+	}
+	return out
+}

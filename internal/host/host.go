@@ -1,0 +1,216 @@
+// Package host models a physical IaaS node: logical CPU cores with DVFS,
+// a CFS-like scheduler, cgroup/proc/sys pseudo-filesystems and a power
+// meter. It is the simulated stand-in for the Grid'5000 nodes the paper
+// experiments on; the presets Chetemi and Chiclet reproduce their specs
+// (Table IV of the paper) using logical CPUs, the only interpretation
+// under which the paper's workloads satisfy its own Eq. 7.
+package host
+
+import (
+	"fmt"
+
+	"vfreq/internal/cgroupfs"
+	"vfreq/internal/dvfs"
+	"vfreq/internal/energy"
+	"vfreq/internal/memfs"
+	"vfreq/internal/procfs"
+	"vfreq/internal/sched"
+	"vfreq/internal/sysfs"
+)
+
+// DefaultTickUs is the scheduler tick the machine advances by (10 ms).
+const DefaultTickUs = int64(10_000)
+
+// Spec describes a node's hardware.
+type Spec struct {
+	Name      string
+	CPU       string // model string, informational
+	Cores     int    // logical CPUs
+	MinMHz    int64
+	MaxMHz    int64 // sustained all-core maximum (the paper's F_MAX)
+	TurboMHz  int64
+	JitterMHz int64
+	MemoryGB  int
+	Governor  string
+	Power     energy.PowerModel
+
+	// CachePenalty models last-level-cache contention, the effect the
+	// paper's §V names as future work: at full machine utilisation,
+	// co-located threads lose this fraction of their per-cycle
+	// throughput (0 disables the model). A thread running x µs on a
+	// core at f MHz then completes x·f·(1 − CachePenalty·u²) cycles,
+	// where u is the machine utilisation — CPU-time guarantees still
+	// hold, but cycle throughput degrades, which is exactly why
+	// cache-aware priorities are needed beyond cgroup quotas.
+	CachePenalty float64
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("host: %q has no cores", s.Name)
+	}
+	if s.MaxMHz <= 0 || s.MinMHz <= 0 || s.MinMHz > s.MaxMHz {
+		return fmt.Errorf("host: %q has invalid frequency envelope", s.Name)
+	}
+	if s.MemoryGB <= 0 {
+		return fmt.Errorf("host: %q has no memory", s.Name)
+	}
+	if s.CachePenalty < 0 || s.CachePenalty >= 1 {
+		return fmt.Errorf("host: %q has cache penalty %g outside [0, 1)", s.Name, s.CachePenalty)
+	}
+	return s.Power.Validate()
+}
+
+// Chetemi returns the spec of the Grid'5000 chetemi node: 2× Intel Xeon
+// E5-2630 v4 (10 cores / 20 threads each), 2.4 GHz, 256 GB RAM.
+func Chetemi() Spec {
+	return Spec{
+		Name:      "chetemi",
+		CPU:       "2x Intel Xeon E5-2630 v4",
+		Cores:     40, // 2 sockets × 10 cores × 2 HT
+		MinMHz:    1200,
+		MaxMHz:    2400,
+		TurboMHz:  3100,
+		JitterMHz: 16, // paper: avg variance 16 MHz on exec A
+		MemoryGB:  256,
+		Governor:  dvfs.GovernorSchedutil,
+		Power:     energy.PowerModel{IdleWatts: 97, MaxWatts: 220, Alpha: 1, Gamma: 2, MaxMHz: 2400},
+	}
+}
+
+// Chiclet returns the spec of the Grid'5000 chiclet node: 2× AMD EPYC
+// 7301 (16 cores / 32 threads each), 2.4 GHz, 128 GB RAM.
+func Chiclet() Spec {
+	return Spec{
+		Name:      "chiclet",
+		CPU:       "2x AMD EPYC 7301",
+		Cores:     64, // 2 sockets × 16 cores × 2 SMT
+		MinMHz:    1200,
+		MaxMHz:    2400,
+		TurboMHz:  2700,
+		JitterMHz: 88, // paper: avg variance 88 MHz on exec A
+		MemoryGB:  128,
+		Governor:  dvfs.GovernorSchedutil,
+		Power:     energy.PowerModel{IdleWatts: 110, MaxWatts: 190, Alpha: 1, Gamma: 2, MaxMHz: 2400},
+	}
+}
+
+// Machine is a running simulated node.
+type Machine struct {
+	spec    Spec
+	FS      *memfs.FS
+	Sched   *sched.Scheduler
+	Cgroups *cgroupfs.Tree
+	Procs   *procfs.Table
+	DVFS    *dvfs.Model
+	Meter   *energy.Meter
+
+	TickUs int64
+
+	util []float64 // scratch buffer for governor updates
+}
+
+// New boots a machine from a spec.
+func New(spec Spec) (*Machine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fs := memfs.New()
+	s := sched.New(spec.Cores)
+	cg, err := cgroupfs.New(fs, s, cgroupfs.DefaultMount)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := procfs.New(fs, s, procfs.Mount)
+	if err != nil {
+		return nil, err
+	}
+	model, err := dvfs.New(spec.Cores, spec.Governor, dvfs.Policy{
+		MinMHz: spec.MinMHz, MaxMHz: spec.MaxMHz,
+		TurboMHz: spec.TurboMHz, JitterMHz: spec.JitterMHz,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sysfs.MountModel(fs, model, sysfs.Mount); err != nil {
+		return nil, err
+	}
+	meter, err := energy.NewMeter(spec.Power)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		spec:    spec,
+		FS:      fs,
+		Sched:   s,
+		Cgroups: cg,
+		Procs:   pt,
+		DVFS:    model,
+		Meter:   meter,
+		TickUs:  DefaultTickUs,
+		util:    make([]float64, spec.Cores),
+	}, nil
+}
+
+// Spec returns the machine's hardware description.
+func (m *Machine) Spec() Spec { return m.spec }
+
+// NowUs returns the simulated time.
+func (m *Machine) NowUs() int64 { return m.Sched.NowUs() }
+
+// StartThread creates a runnable thread in the cgroup at rel (relative to
+// the cgroup mount; "" is the root) and registers it in /proc.
+func (m *Machine) StartThread(rel, comm string, demand func(nowUs, dtUs int64) float64) (*sched.Thread, error) {
+	g, err := m.Cgroups.Group(rel)
+	if err != nil {
+		return nil, err
+	}
+	th := m.Sched.NewThread(g, demand)
+	if err := m.Procs.Register(th, comm); err != nil {
+		m.Sched.RemoveThread(th)
+		return nil, err
+	}
+	return th, nil
+}
+
+// StopThread removes a thread from scheduling and /proc.
+func (m *Machine) StopThread(th *sched.Thread) error {
+	m.Sched.RemoveThread(th)
+	return m.Procs.Unregister(th.ID)
+}
+
+// Step advances the machine by exactly one scheduler tick.
+func (m *Machine) Step() {
+	tick := m.TickUs
+	now := m.Sched.NowUs()
+	// Cache contention scales per-cycle throughput with the previous
+	// tick's machine utilisation (the contention the threads will meet).
+	slow := 1.0
+	if m.spec.CachePenalty > 0 {
+		u := m.Sched.Utilization()
+		slow = 1 - m.spec.CachePenalty*u*u
+	}
+	allocs := m.Sched.Tick(tick)
+	// Account work at the frequency each core ran this tick. The
+	// governor output lags by one tick, as hardware DVFS does.
+	for _, a := range allocs {
+		if a.Thread.OnRun != nil {
+			eff := int64(float64(m.DVFS.FreqMHz(a.Core)) * slow)
+			a.Thread.OnRun(now, a.RanUs, eff)
+		}
+	}
+	for c := range m.util {
+		m.util[c] = m.Sched.CoreUtilization(c)
+	}
+	m.Meter.Observe(m.Sched.Utilization(), m.DVFS.MeanMHz(), tick)
+	m.DVFS.Update(m.util)
+}
+
+// Advance runs the machine for the given duration (rounded up to whole
+// ticks).
+func (m *Machine) Advance(durationUs int64) {
+	for elapsed := int64(0); elapsed < durationUs; elapsed += m.TickUs {
+		m.Step()
+	}
+}

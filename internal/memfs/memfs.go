@@ -1,0 +1,341 @@
+// Package memfs implements a small in-memory file tree used as the backing
+// store for the simulated cgroup, proc and sys filesystems.
+//
+// Files may hold static content or be backed by callbacks so that reads
+// always observe the live state of the simulation (as reads of real kernel
+// pseudo-files do). Paths use forward slashes and are rooted at "/".
+package memfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors returned by the filesystem, mirroring the ones a real
+// kernel pseudo-filesystem would produce.
+var (
+	ErrNotExist  = errors.New("memfs: file does not exist")
+	ErrExist     = errors.New("memfs: file already exists")
+	ErrIsDir     = errors.New("memfs: is a directory")
+	ErrNotDir    = errors.New("memfs: not a directory")
+	ErrReadOnly  = errors.New("memfs: file is read-only")
+	ErrNotEmpty  = errors.New("memfs: directory not empty")
+	ErrBadHandle = errors.New("memfs: invalid file operation")
+)
+
+// ReadFunc produces the current content of a dynamic file.
+type ReadFunc func() string
+
+// WriteFunc consumes a write to a dynamic file. Returning an error makes
+// the write fail, as the kernel does for malformed control-file writes.
+type WriteFunc func(data string) error
+
+type node struct {
+	name     string
+	dir      bool
+	children map[string]*node
+	// static content, used when read is nil
+	content string
+	read    ReadFunc
+	write   WriteFunc
+}
+
+// FS is a concurrency-safe in-memory file tree.
+type FS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// New returns an empty filesystem containing only the root directory.
+func New() *FS {
+	return &FS{root: &node{name: "/", dir: true, children: map[string]*node{}}}
+}
+
+// clean normalises p to an absolute slash-separated path.
+func clean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// split returns the path elements of p, excluding the root.
+func split(p string) []string {
+	p = clean(p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+func (fs *FS) lookup(p string) (*node, error) {
+	cur := fs.root
+	for _, el := range split(p) {
+		if !cur.dir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[el]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Mkdir creates a directory. Parent directories must already exist.
+func (fs *FS) Mkdir(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mkdirLocked(p)
+}
+
+func (fs *FS) mkdirLocked(p string) error {
+	p = clean(p)
+	if p == "/" {
+		return nil
+	}
+	parent, err := fs.lookup(path.Dir(p))
+	if err != nil {
+		return err
+	}
+	if !parent.dir {
+		return ErrNotDir
+	}
+	name := path.Base(p)
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	parent.children[name] = &node{name: name, dir: true, children: map[string]*node{}}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FS) MkdirAll(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	els := split(p)
+	cur := "/"
+	for _, el := range els {
+		cur = path.Join(cur, el)
+		if n, err := fs.lookup(cur); err == nil {
+			if !n.dir {
+				return ErrNotDir
+			}
+			continue
+		}
+		if err := fs.mkdirLocked(cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddFile creates a static file with the given initial content.
+// Writes replace the content.
+func (fs *FS) AddFile(p, content string) error {
+	return fs.addNode(p, &node{content: content})
+}
+
+// AddDynamic creates a file whose reads call read and whose writes call
+// write. Either may be nil: a nil read yields the empty string, a nil
+// write makes the file read-only.
+func (fs *FS) AddDynamic(p string, read ReadFunc, write WriteFunc) error {
+	return fs.addNode(p, &node{read: read, write: write})
+}
+
+func (fs *FS) addNode(p string, n *node) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p = clean(p)
+	parent, err := fs.lookup(path.Dir(p))
+	if err != nil {
+		return err
+	}
+	if !parent.dir {
+		return ErrNotDir
+	}
+	name := path.Base(p)
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	n.name = name
+	parent.children[name] = n
+	return nil
+}
+
+// ReadFile returns the current content of the file at p.
+func (fs *FS) ReadFile(p string) (string, error) {
+	fs.mu.RLock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		fs.mu.RUnlock()
+		return "", err
+	}
+	if n.dir {
+		fs.mu.RUnlock()
+		return "", fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	read := n.read
+	content := n.content
+	fs.mu.RUnlock()
+	// Dynamic reads run outside the lock: the callback may consult
+	// simulation state that itself mutates the filesystem.
+	if read != nil {
+		return read(), nil
+	}
+	return content, nil
+}
+
+// WriteFile writes data to the file at p.
+func (fs *FS) WriteFile(p, data string) error {
+	fs.mu.Lock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if n.dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	if n.read != nil { // dynamic file
+		w := n.write
+		fs.mu.Unlock()
+		if w == nil {
+			return fmt.Errorf("%w: %s", ErrReadOnly, p)
+		}
+		return w(data)
+	}
+	if n.write != nil {
+		w := n.write
+		fs.mu.Unlock()
+		return w(data)
+	}
+	n.content = data
+	fs.mu.Unlock()
+	return nil
+}
+
+// Remove deletes the file or empty directory at p.
+func (fs *FS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p = clean(p)
+	if p == "/" {
+		return ErrBadHandle
+	}
+	parent, err := fs.lookup(path.Dir(p))
+	if err != nil {
+		return err
+	}
+	name := path.Base(p)
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if n.dir && len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// RemoveAll deletes the subtree rooted at p. Removing a path that does
+// not exist is not an error, matching os.RemoveAll.
+func (fs *FS) RemoveAll(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p = clean(p)
+	if p == "/" {
+		fs.root.children = map[string]*node{}
+		return nil
+	}
+	parent, err := fs.lookup(path.Dir(p))
+	if err != nil {
+		return nil
+	}
+	delete(parent.children, path.Base(p))
+	return nil
+}
+
+// ReadDir lists the names in the directory at p, sorted.
+func (fs *FS) ReadDir(p string) ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, p)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// IsDir reports whether p exists and is a directory.
+func (fs *FS) IsDir(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	return err == nil && n.dir
+}
+
+// Exists reports whether p exists.
+func (fs *FS) Exists(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, err := fs.lookup(p)
+	return err == nil
+}
+
+// Walk visits every path under root in lexical order, calling fn with the
+// full path and whether it is a directory. It stops at the first error.
+func (fs *FS) Walk(root string, fn func(p string, dir bool) error) error {
+	fs.mu.RLock()
+	n, err := fs.lookup(root)
+	if err != nil {
+		fs.mu.RUnlock()
+		return err
+	}
+	type entry struct {
+		p string
+		n *node
+	}
+	// Snapshot the subtree so fn may mutate the filesystem.
+	var flat []entry
+	var rec func(p string, n *node)
+	rec = func(p string, n *node) {
+		flat = append(flat, entry{p, n})
+		if n.dir {
+			names := make([]string, 0, len(n.children))
+			for name := range n.children {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				rec(path.Join(p, name), n.children[name])
+			}
+		}
+	}
+	rec(clean(root), n)
+	fs.mu.RUnlock()
+	for _, e := range flat {
+		if err := fn(e.p, e.n.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

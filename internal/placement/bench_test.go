@@ -1,0 +1,58 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchWorkload(n int) []VMSpec {
+	tpls := []VMSpec{small(), medium(), large()}
+	out := make([]VMSpec, n)
+	for i := range out {
+		out[i] = tpls[i%3]
+		out[i].Name = fmt.Sprint(i)
+	}
+	return out
+}
+
+func benchCluster(n int) []NodeSpec {
+	out := make([]NodeSpec, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = chetemi()
+		} else {
+			out[i] = chiclet()
+		}
+	}
+	return out
+}
+
+func benchPlace(b *testing.B, alg Algorithm, mode ConstraintMode, vms, nodes int) {
+	b.Helper()
+	p := Policy{Mode: mode, Factor: 1, Memory: true}
+	w := benchWorkload(vms)
+	c := benchCluster(nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(alg, c, w, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestFitEq7Small(b *testing.B)  { benchPlace(b, BestFit, VirtualFrequency, 100, 10) }
+func BenchmarkBestFitEq7Large(b *testing.B)  { benchPlace(b, BestFit, VirtualFrequency, 2000, 100) }
+func BenchmarkFirstFitEq7Large(b *testing.B) { benchPlace(b, FirstFit, VirtualFrequency, 2000, 100) }
+func BenchmarkBestFitCoreCount(b *testing.B) { benchPlace(b, BestFit, CoreCount, 2000, 100) }
+
+func BenchmarkCoreSplitting(b *testing.B) {
+	p := Policy{Mode: VirtualFrequency, Factor: 1, Memory: true, CoreSplitting: true}
+	w := benchWorkload(400)
+	c := benchCluster(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(BestFit, c, w, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

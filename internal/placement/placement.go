@@ -1,0 +1,384 @@
+// Package placement implements the VM placement algorithms of §III-C and
+// §IV-C of the paper: FirstFit/BestFit/WorstFit packers under three CPU
+// constraint modes — the classic vCPU-count constraint, the same with a
+// consolidation factor, and the paper's virtual-frequency ("core
+// splitting") constraint of Eq. 7:
+//
+//	Σ_{i∈I_n} k_i^vCPU · F_i  ≤  k_n^CPU · F_n^MAX
+//
+// An optional stricter per-core splitting mode additionally requires an
+// integral assignment of vCPUs to cores such that each core's virtual
+// frequencies sum below F_MAX.
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeSpec describes one physical machine available to the placer.
+type NodeSpec struct {
+	Name       string
+	Cores      int
+	MaxFreqMHz int64
+	MemoryGB   int
+	IdleWatts  float64
+	MaxWatts   float64
+}
+
+// Validate checks the node spec.
+func (n NodeSpec) Validate() error {
+	if n.Cores <= 0 || n.MaxFreqMHz <= 0 || n.MemoryGB <= 0 {
+		return fmt.Errorf("placement: invalid node %q", n.Name)
+	}
+	if n.IdleWatts < 0 || n.MaxWatts < n.IdleWatts {
+		return fmt.Errorf("placement: invalid power range for %q", n.Name)
+	}
+	return nil
+}
+
+// VMSpec describes one VM to place.
+type VMSpec struct {
+	Name     string
+	Template string
+	VCPUs    int
+	FreqMHz  int64
+	MemoryGB int
+}
+
+// Validate checks the VM spec.
+func (v VMSpec) Validate() error {
+	if v.VCPUs <= 0 || v.FreqMHz <= 0 || v.MemoryGB < 0 {
+		return fmt.Errorf("placement: invalid VM %q", v.Name)
+	}
+	return nil
+}
+
+// ConstraintMode selects the CPU feasibility rule.
+type ConstraintMode int
+
+const (
+	// CoreCount is the classic rule: Σ vCPUs ≤ cores × factor.
+	CoreCount ConstraintMode = iota
+	// VirtualFrequency is Eq. 7: Σ vCPU·F ≤ cores·F_MAX × factor.
+	VirtualFrequency
+)
+
+// String implements fmt.Stringer.
+func (m ConstraintMode) String() string {
+	switch m {
+	case CoreCount:
+		return "core-count"
+	case VirtualFrequency:
+		return "virtual-frequency"
+	}
+	return fmt.Sprintf("ConstraintMode(%d)", int(m))
+}
+
+// Policy configures a placement run.
+type Policy struct {
+	Mode ConstraintMode
+	// Factor is the consolidation factor applied to the CPU capacity
+	// (1.0 = none; the paper compares against 1.8).
+	Factor float64
+	// Memory enforces node memory capacity.
+	Memory bool
+	// CoreSplitting, with VirtualFrequency, additionally requires an
+	// integral vCPU→core assignment where each core's Σ F ≤ F_MAX.
+	CoreSplitting bool
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.Factor <= 0 {
+		return fmt.Errorf("placement: factor must be positive")
+	}
+	if p.CoreSplitting && p.Mode != VirtualFrequency {
+		return fmt.Errorf("placement: core splitting requires the virtual-frequency mode")
+	}
+	return nil
+}
+
+// Node is a bin during placement.
+type Node struct {
+	Spec NodeSpec
+	VMs  []VMSpec
+
+	usedVCPUs int
+	usedFreq  int64 // Σ vCPU·F in MHz
+	usedMemGB int
+	coreFreq  []int64 // per-core Σ F when core splitting
+}
+
+// UsedVCPUs returns the number of placed vCPUs.
+func (n *Node) UsedVCPUs() int { return n.usedVCPUs }
+
+// UsedFreqMHz returns Σ vCPU·F of the placed VMs.
+func (n *Node) UsedFreqMHz() int64 { return n.usedFreq }
+
+// UsedMemoryGB returns the memory placed.
+func (n *Node) UsedMemoryGB() int { return n.usedMemGB }
+
+// capacity returns the CPU capacity in the policy's unit.
+func (n *Node) capacity(p Policy) float64 {
+	switch p.Mode {
+	case CoreCount:
+		return float64(n.Spec.Cores) * p.Factor
+	default:
+		return float64(n.Spec.Cores) * float64(n.Spec.MaxFreqMHz) * p.Factor
+	}
+}
+
+// used returns the consumed CPU capacity in the policy's unit.
+func (n *Node) used(p Policy) float64 {
+	switch p.Mode {
+	case CoreCount:
+		return float64(n.usedVCPUs)
+	default:
+		return float64(n.usedFreq)
+	}
+}
+
+// Remaining returns the free CPU capacity in the policy's unit.
+func (n *Node) Remaining(p Policy) float64 { return n.capacity(p) - n.used(p) }
+
+// Load returns the CPU load fraction under the policy.
+func (n *Node) Load(p Policy) float64 {
+	c := n.capacity(p)
+	if c == 0 {
+		return 0
+	}
+	return n.used(p) / c
+}
+
+// Fits reports whether v can be placed on n under p.
+func (n *Node) Fits(v VMSpec, p Policy) bool {
+	switch p.Mode {
+	case CoreCount:
+		if float64(n.usedVCPUs+v.VCPUs) > float64(n.Spec.Cores)*p.Factor {
+			return false
+		}
+	case VirtualFrequency:
+		add := int64(v.VCPUs) * v.FreqMHz
+		if float64(n.usedFreq+add) > float64(n.Spec.Cores)*float64(n.Spec.MaxFreqMHz)*p.Factor {
+			return false
+		}
+		if v.FreqMHz > n.Spec.MaxFreqMHz {
+			return false // a vCPU cannot exceed the node's F_MAX
+		}
+		if p.CoreSplitting && !n.coreSplitFits(v) {
+			return false
+		}
+	}
+	if p.Memory && n.usedMemGB+v.MemoryGB > n.Spec.MemoryGB {
+		return false
+	}
+	return true
+}
+
+// coreSplitFits checks integral per-core feasibility with first-fit over
+// cores (worst-fit order: emptiest core first, which keeps headroom
+// spread for later VMs).
+func (n *Node) coreSplitFits(v VMSpec) bool {
+	if n.coreFreq == nil {
+		n.coreFreq = make([]int64, n.Spec.Cores)
+	}
+	cores := append([]int64(nil), n.coreFreq...)
+	for placed := 0; placed < v.VCPUs; placed++ {
+		best := -1
+		for c := range cores {
+			if cores[c]+v.FreqMHz <= n.Spec.MaxFreqMHz {
+				if best == -1 || cores[c] < cores[best] {
+					best = c
+				}
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		cores[best] += v.FreqMHz
+	}
+	return true
+}
+
+// Place adds v to n. Callers must check Fits first.
+func (n *Node) Place(v VMSpec, p Policy) {
+	n.VMs = append(n.VMs, v)
+	n.usedVCPUs += v.VCPUs
+	n.usedFreq += int64(v.VCPUs) * v.FreqMHz
+	n.usedMemGB += v.MemoryGB
+	if p.CoreSplitting {
+		if n.coreFreq == nil {
+			n.coreFreq = make([]int64, n.Spec.Cores)
+		}
+		for placed := 0; placed < v.VCPUs; placed++ {
+			best := -1
+			for c := range n.coreFreq {
+				if n.coreFreq[c]+v.FreqMHz <= n.Spec.MaxFreqMHz {
+					if best == -1 || n.coreFreq[c] < n.coreFreq[best] {
+						best = c
+					}
+				}
+			}
+			if best == -1 {
+				panic("placement: Place called without Fits")
+			}
+			n.coreFreq[best] += v.FreqMHz
+		}
+	}
+}
+
+// Result is the outcome of a placement run.
+type Result struct {
+	Policy   Policy
+	Nodes    []*Node
+	Unplaced []VMSpec
+}
+
+// UsedNodes counts nodes hosting at least one VM.
+func (r *Result) UsedNodes() int {
+	n := 0
+	for _, node := range r.Nodes {
+		if len(node.VMs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxPerNode returns, over nodes of the named spec, the largest number of
+// VMs of the given template — the statistic the paper quotes ("28 large
+// VMs on a chiclet").
+func (r *Result) MaxPerNode(nodeName, template string) int {
+	max := 0
+	for _, node := range r.Nodes {
+		if node.Spec.Name != nodeName {
+			continue
+		}
+		count := 0
+		for _, v := range node.VMs {
+			if v.Template == template {
+				count++
+			}
+		}
+		if count > max {
+			max = count
+		}
+	}
+	return max
+}
+
+// IdlePowerSavingsWatts returns the idle power of the nodes left empty —
+// the energy the provider can save by shutting them down.
+func (r *Result) IdlePowerSavingsWatts() float64 {
+	var w float64
+	for _, node := range r.Nodes {
+		if len(node.VMs) == 0 {
+			w += node.Spec.IdleWatts
+		}
+	}
+	return w
+}
+
+// ActivePowerWatts estimates the power of the used nodes with the linear
+// model at their current CPU load.
+func (r *Result) ActivePowerWatts() float64 {
+	var w float64
+	for _, node := range r.Nodes {
+		if len(node.VMs) == 0 {
+			continue
+		}
+		load := node.Load(r.Policy)
+		if load > 1 {
+			load = 1
+		}
+		w += node.Spec.IdleWatts + (node.Spec.MaxWatts-node.Spec.IdleWatts)*load
+	}
+	return w
+}
+
+// Algorithm selects the packing heuristic.
+type Algorithm int
+
+const (
+	FirstFit Algorithm = iota
+	BestFit
+	WorstFit
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Place runs the chosen algorithm: VMs are processed in the given order;
+// for each VM the algorithm picks a feasible node — the first (FirstFit),
+// the fullest (BestFit) or the emptiest (WorstFit).
+func Place(alg Algorithm, nodes []NodeSpec, vms []VMSpec, p Policy) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Policy: p, Nodes: make([]*Node, len(nodes))}
+	for i, spec := range nodes {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		res.Nodes[i] = &Node{Spec: spec}
+	}
+	for _, v := range vms {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		chosen := -1
+		for i, node := range res.Nodes {
+			if !node.Fits(v, p) {
+				continue
+			}
+			switch alg {
+			case FirstFit:
+				chosen = i
+			case BestFit:
+				if chosen == -1 || node.Remaining(p) < res.Nodes[chosen].Remaining(p) {
+					chosen = i
+				}
+				continue
+			case WorstFit:
+				if chosen == -1 || node.Remaining(p) > res.Nodes[chosen].Remaining(p) {
+					chosen = i
+				}
+				continue
+			default:
+				return nil, fmt.Errorf("placement: unknown algorithm %v", alg)
+			}
+			break // FirstFit stops at the first feasible node
+		}
+		if chosen == -1 {
+			res.Unplaced = append(res.Unplaced, v)
+			continue
+		}
+		res.Nodes[chosen].Place(v, p)
+	}
+	return res, nil
+}
+
+// SortDecreasing orders VMs by descending CPU demand (vCPU·F, then vCPU
+// count), the usual preprocessing for fit-decreasing packers. The sort is
+// stable so equal VMs keep their input order.
+func SortDecreasing(vms []VMSpec) {
+	sort.SliceStable(vms, func(i, j int) bool {
+		di := int64(vms[i].VCPUs) * vms[i].FreqMHz
+		dj := int64(vms[j].VCPUs) * vms[j].FreqMHz
+		if di != dj {
+			return di > dj
+		}
+		return vms[i].VCPUs > vms[j].VCPUs
+	})
+}

@@ -1,0 +1,174 @@
+package platform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vfreq/internal/cgroupfs"
+	"vfreq/internal/procfs"
+	"vfreq/internal/sysfs"
+)
+
+// Linux reads a real host's cgroup v2, /proc and /sys trees. It discovers
+// KVM VMs under machine.slice the way libvirt lays them out
+// (machine-qemu-*.scope with per-vCPU sub-cgroups).
+//
+// Template virtual frequencies are not stored in the kernel; they are
+// supplied via Freqs, keyed by VM name, playing the role of the cloud
+// manager's template database.
+type Linux struct {
+	NodeName   string
+	CgroupRoot string // e.g. /sys/fs/cgroup/machine.slice
+	ProcRoot   string // e.g. /proc
+	SysCPURoot string // e.g. /sys/devices/system/cpu
+	MaxFreqMHz int64
+	Cores      int
+	Freqs      map[string]int64 // VM name → template frequency (MHz)
+}
+
+// NewLinux builds a backend for the standard mount points. It fails if
+// the cgroup v2 hierarchy is not present.
+func NewLinux(freqs map[string]int64) (*Linux, error) {
+	l := &Linux{
+		NodeName:   "localhost",
+		CgroupRoot: "/sys/fs/cgroup/machine.slice",
+		ProcRoot:   "/proc",
+		SysCPURoot: "/sys/devices/system/cpu",
+		Freqs:      freqs,
+	}
+	online, err := os.ReadFile(filepath.Join(l.SysCPURoot, "online"))
+	if err != nil {
+		return nil, fmt.Errorf("platform: no cpu sysfs: %w", err)
+	}
+	l.Cores, err = sysfs.ParseOnline(string(online))
+	if err != nil {
+		return nil, err
+	}
+	// F_MAX: use cpu0's scaling_max_freq; fall back to cpuinfo_max_freq.
+	for _, f := range []string{"cpu0/cpufreq/scaling_max_freq", "cpu0/cpufreq/cpuinfo_max_freq"} {
+		if b, err := os.ReadFile(filepath.Join(l.SysCPURoot, f)); err == nil {
+			if khz, err := sysfs.ParseKHz(string(b)); err == nil {
+				l.MaxFreqMHz = khz / 1000
+				break
+			}
+		}
+	}
+	if l.MaxFreqMHz == 0 {
+		return nil, fmt.Errorf("platform: cannot determine F_MAX from cpufreq")
+	}
+	if _, err := os.Stat(l.CgroupRoot); err != nil {
+		return nil, fmt.Errorf("platform: no machine.slice cgroup: %w", err)
+	}
+	return l, nil
+}
+
+// Node implements Host.
+func (l *Linux) Node() NodeInfo {
+	return NodeInfo{Name: l.NodeName, Cores: l.Cores, MaxFreqMHz: l.MaxFreqMHz}
+}
+
+// ListVMs implements Host.
+func (l *Linux) ListVMs() ([]VMInfo, error) {
+	entries, err := os.ReadDir(l.CgroupRoot)
+	if err != nil {
+		return nil, err
+	}
+	var out []VMInfo
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasSuffix(e.Name(), ".scope") {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(e.Name(), "machine-qemu-"), ".scope")
+		// Count vcpuN sub-cgroups.
+		subs, err := os.ReadDir(filepath.Join(l.CgroupRoot, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		vcpus := 0
+		for _, s := range subs {
+			if s.IsDir() && strings.HasPrefix(s.Name(), "vcpu") {
+				vcpus++
+			}
+		}
+		if vcpus == 0 {
+			continue
+		}
+		freq, ok := l.Freqs[name]
+		if !ok {
+			continue // no template registered: not under our control
+		}
+		out = append(out, VMInfo{Name: name, VCPUs: vcpus, FreqMHz: freq})
+	}
+	return out, nil
+}
+
+func (l *Linux) vcpuDir(vm string, vcpu int) string {
+	return filepath.Join(l.CgroupRoot, "machine-qemu-"+vm+".scope", fmt.Sprintf("vcpu%d", vcpu))
+}
+
+// UsageUs implements Host.
+func (l *Linux) UsageUs(vm string, vcpu int) (int64, error) {
+	b, err := os.ReadFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.stat"))
+	if err != nil {
+		return 0, err
+	}
+	return cgroupfs.ParseCPUStat(string(b), "usage_usec")
+}
+
+// SetMax implements Host.
+func (l *Linux) SetMax(vm string, vcpu int, quotaUs, periodUs int64) error {
+	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"),
+		[]byte(fmt.Sprintf("%d %d", quotaUs, periodUs)), 0o644)
+}
+
+// ClearMax implements Host.
+func (l *Linux) ClearMax(vm string, vcpu int) error {
+	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"), []byte("max"), 0o644)
+}
+
+// SetBurst implements Host.
+func (l *Linux) SetBurst(vm string, vcpu int, burstUs int64) error {
+	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max.burst"),
+		[]byte(fmt.Sprintf("%d", burstUs)), 0o644)
+}
+
+// ThreadID implements Host.
+func (l *Linux) ThreadID(vm string, vcpu int) (int, error) {
+	b, err := os.ReadFile(filepath.Join(l.vcpuDir(vm, vcpu), "cgroup.threads"))
+	if err != nil {
+		return 0, err
+	}
+	ids, err := cgroupfs.ParseTIDs(string(b))
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) != 1 {
+		return 0, fmt.Errorf("platform: vCPU cgroup holds %d threads, want 1", len(ids))
+	}
+	return ids[0], nil
+}
+
+// LastCPU implements Host.
+func (l *Linux) LastCPU(tid int) (int, error) {
+	b, err := os.ReadFile(filepath.Join(l.ProcRoot, fmt.Sprint(tid), "stat"))
+	if err != nil {
+		return 0, err
+	}
+	return procfs.ParseStatLastCPU(string(b))
+}
+
+// CoreFreqMHz implements Host.
+func (l *Linux) CoreFreqMHz(core int) (int64, error) {
+	b, err := os.ReadFile(filepath.Join(l.SysCPURoot,
+		fmt.Sprintf("cpu%d/cpufreq/scaling_cur_freq", core)))
+	if err != nil {
+		return 0, err
+	}
+	khz, err := sysfs.ParseKHz(string(b))
+	if err != nil {
+		return 0, err
+	}
+	return khz / 1000, nil
+}

@@ -1,0 +1,50 @@
+// Package platform defines the narrow host interface the virtual-
+// frequency controller consumes, with two implementations: a simulated
+// backend reading the emulated cgroup/proc/sys files of internal/host,
+// and a real-Linux backend reading the same files under /sys and /proc.
+//
+// Everything the controller knows about the world flows through this
+// interface, exactly mirroring what the paper's C++ implementation reads
+// and writes on a KVM host.
+package platform
+
+// NodeInfo describes the physical machine.
+type NodeInfo struct {
+	Name       string
+	Cores      int   // logical CPUs (k_n^CPU)
+	MaxFreqMHz int64 // all-core sustained maximum (F_n^MAX)
+}
+
+// VMInfo describes one hosted VM instance as libvirt would report it.
+type VMInfo struct {
+	Name    string
+	VCPUs   int
+	FreqMHz int64 // virtual frequency from the VM template (F_{V(i)})
+}
+
+// Host is the controller's view of the machine.
+type Host interface {
+	// Node returns the static machine description.
+	Node() NodeInfo
+	// ListVMs enumerates the hosted VM instances.
+	ListVMs() ([]VMInfo, error)
+	// UsageUs returns the cumulative CPU time of vCPU j of the named
+	// VM, in microseconds (cpu.stat usage_usec).
+	UsageUs(vm string, vcpu int) (int64, error)
+	// SetMax writes the vCPU's cgroup cpu.max quota.
+	SetMax(vm string, vcpu int, quotaUs, periodUs int64) error
+	// ClearMax removes the vCPU's quota ("max").
+	ClearMax(vm string, vcpu int) error
+	// SetBurst writes the vCPU's cgroup cpu.max.burst budget. A zero
+	// burst disables bursting.
+	SetBurst(vm string, vcpu int, burstUs int64) error
+	// ThreadID returns the kernel tid of the vCPU thread
+	// (cgroup.threads; KVM vCPU cgroups hold exactly one thread).
+	ThreadID(vm string, vcpu int) (int, error)
+	// LastCPU returns the core the thread last ran on
+	// (/proc/<tid>/stat field 39).
+	LastCPU(tid int) (int, error)
+	// CoreFreqMHz returns the current frequency of a core
+	// (scaling_cur_freq).
+	CoreFreqMHz(core int) (int64, error)
+}

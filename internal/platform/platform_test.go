@@ -1,0 +1,151 @@
+package platform
+
+import (
+	"os"
+	"testing"
+
+	"vfreq/internal/host"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+func newSim(t *testing.T) (*Sim, *vm.Manager) {
+	t.Helper()
+	m, err := host.New(host.Chetemi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := vm.NewManager(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSim(mgr), mgr
+}
+
+func TestSimNode(t *testing.T) {
+	s, _ := newSim(t)
+	n := s.Node()
+	if n.Name != "chetemi" || n.Cores != 40 || n.MaxFreqMHz != 2400 {
+		t.Fatalf("Node = %+v", n)
+	}
+}
+
+func TestSimListVMs(t *testing.T) {
+	s, mgr := newSim(t)
+	if _, err := mgr.Provision("a", vm.Small(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Provision("b", vm.Large(), nil); err != nil {
+		t.Fatal(err)
+	}
+	vms, err := s.ListVMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 2 {
+		t.Fatalf("got %d VMs", len(vms))
+	}
+	if vms[0].Name != "a" || vms[0].VCPUs != 2 || vms[0].FreqMHz != 500 {
+		t.Fatalf("vms[0] = %+v", vms[0])
+	}
+	if vms[1].Name != "b" || vms[1].VCPUs != 4 || vms[1].FreqMHz != 1800 {
+		t.Fatalf("vms[1] = %+v", vms[1])
+	}
+}
+
+func TestSimUsageAndQuota(t *testing.T) {
+	s, mgr := newSim(t)
+	if _, err := mgr.Provision("a", vm.Small(),
+		[]workload.Source{workload.Busy(), workload.Busy()}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Machine().Advance(1_000_000)
+	u, err := s.UsageUs("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1_000_000 {
+		t.Fatalf("usage = %d, want 1000000 (uncontended)", u)
+	}
+	// Apply a 25% cap through the interface and verify it bites.
+	for j := 0; j < 2; j++ {
+		if err := s.SetMax("a", j, 25_000, 100_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := s.UsageUs("a", 0)
+	mgr.Machine().Advance(1_000_000)
+	after, _ := s.UsageUs("a", 0)
+	if got := after - before; got != 250_000 {
+		t.Fatalf("capped usage delta = %d, want 250000", got)
+	}
+	// Clear and verify it no longer bites.
+	if err := s.ClearMax("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _ = s.UsageUs("a", 0)
+	mgr.Machine().Advance(1_000_000)
+	after, _ = s.UsageUs("a", 0)
+	if got := after - before; got != 1_000_000 {
+		t.Fatalf("uncapped usage delta = %d, want 1000000", got)
+	}
+}
+
+func TestSimThreadPlacementAndFreq(t *testing.T) {
+	s, mgr := newSim(t)
+	if _, err := mgr.Provision("a", vm.Small(),
+		[]workload.Source{workload.Busy(), workload.Busy()}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Machine().Advance(500_000)
+	tid, err := s.ThreadID("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := s.LastCPU(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core < 0 || core >= 40 {
+		t.Fatalf("core %d out of range", core)
+	}
+	f, err := s.CoreFreqMHz(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mgr.Machine().Spec()
+	if f < spec.MinMHz || f > spec.TurboMHz {
+		t.Fatalf("freq %d outside envelope", f)
+	}
+}
+
+func TestSimErrorsOnUnknownVM(t *testing.T) {
+	s, _ := newSim(t)
+	if _, err := s.UsageUs("ghost", 0); err == nil {
+		t.Fatal("usage of unknown VM succeeded")
+	}
+	if err := s.SetMax("ghost", 0, 1000, 100_000); err == nil {
+		t.Fatal("SetMax on unknown VM succeeded")
+	}
+	if _, err := s.ThreadID("ghost", 0); err == nil {
+		t.Fatal("ThreadID on unknown VM succeeded")
+	}
+}
+
+// The Linux backend needs a real cgroup v2 + libvirt host; skip unless
+// present.
+func TestLinuxBackendOnRealHost(t *testing.T) {
+	if _, err := os.Stat("/sys/fs/cgroup/machine.slice"); err != nil {
+		t.Skip("no machine.slice on this host")
+	}
+	l, err := NewLinux(nil)
+	if err != nil {
+		t.Skipf("linux backend unavailable: %v", err)
+	}
+	if l.Cores <= 0 || l.MaxFreqMHz <= 0 {
+		t.Fatalf("bad node info: %+v", l.Node())
+	}
+	if _, err := l.ListVMs(); err != nil {
+		t.Fatal(err)
+	}
+}

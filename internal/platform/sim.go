@@ -1,0 +1,106 @@
+package platform
+
+import (
+	"fmt"
+
+	"vfreq/internal/cgroupfs"
+	"vfreq/internal/procfs"
+	"vfreq/internal/sysfs"
+	"vfreq/internal/vm"
+)
+
+// Sim adapts a simulated machine to the Host interface. All reads go
+// through the emulated pseudo-files (string parsing included) so the
+// controller exercises the exact code paths it would use on Linux.
+type Sim struct {
+	mgr *vm.Manager
+}
+
+// NewSim wraps a VM manager.
+func NewSim(mgr *vm.Manager) *Sim { return &Sim{mgr: mgr} }
+
+// Node implements Host.
+func (s *Sim) Node() NodeInfo {
+	spec := s.mgr.Machine().Spec()
+	return NodeInfo{Name: spec.Name, Cores: spec.Cores, MaxFreqMHz: spec.MaxMHz}
+}
+
+// ListVMs implements Host.
+func (s *Sim) ListVMs() ([]VMInfo, error) {
+	insts := s.mgr.List()
+	out := make([]VMInfo, len(insts))
+	for i, inst := range insts {
+		t := inst.Template()
+		out[i] = VMInfo{Name: inst.Name(), VCPUs: t.VCPUs, FreqMHz: t.FreqMHz}
+	}
+	return out, nil
+}
+
+func (s *Sim) vcpuPath(vmName string, vcpu int) string {
+	return cgroupfs.DefaultMount + "/" + vm.VCPUCgroup(vmName, vcpu)
+}
+
+// UsageUs implements Host.
+func (s *Sim) UsageUs(vmName string, vcpu int) (int64, error) {
+	content, err := s.mgr.Machine().FS.ReadFile(s.vcpuPath(vmName, vcpu) + "/cpu.stat")
+	if err != nil {
+		return 0, fmt.Errorf("platform: reading cpu.stat of %s/vcpu%d: %w", vmName, vcpu, err)
+	}
+	return cgroupfs.ParseCPUStat(content, "usage_usec")
+}
+
+// SetMax implements Host.
+func (s *Sim) SetMax(vmName string, vcpu int, quotaUs, periodUs int64) error {
+	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max",
+		fmt.Sprintf("%d %d", quotaUs, periodUs))
+}
+
+// ClearMax implements Host.
+func (s *Sim) ClearMax(vmName string, vcpu int) error {
+	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max", "max")
+}
+
+// SetBurst implements Host.
+func (s *Sim) SetBurst(vmName string, vcpu int, burstUs int64) error {
+	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max.burst",
+		fmt.Sprintf("%d", burstUs))
+}
+
+// ThreadID implements Host.
+func (s *Sim) ThreadID(vmName string, vcpu int) (int, error) {
+	content, err := s.mgr.Machine().FS.ReadFile(s.vcpuPath(vmName, vcpu) + "/cgroup.threads")
+	if err != nil {
+		return 0, err
+	}
+	ids, err := cgroupfs.ParseTIDs(content)
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) != 1 {
+		return 0, fmt.Errorf("platform: vCPU cgroup %s/vcpu%d holds %d threads, want 1",
+			vmName, vcpu, len(ids))
+	}
+	return ids[0], nil
+}
+
+// LastCPU implements Host.
+func (s *Sim) LastCPU(tid int) (int, error) {
+	line, err := s.mgr.Machine().FS.ReadFile(fmt.Sprintf("%s/%d/stat", procfs.Mount, tid))
+	if err != nil {
+		return 0, err
+	}
+	return procfs.ParseStatLastCPU(line)
+}
+
+// CoreFreqMHz implements Host.
+func (s *Sim) CoreFreqMHz(core int) (int64, error) {
+	content, err := s.mgr.Machine().FS.ReadFile(sysfs.CurFreqPath(sysfs.Mount, core))
+	if err != nil {
+		return 0, err
+	}
+	khz, err := sysfs.ParseKHz(content)
+	if err != nil {
+		return 0, err
+	}
+	return khz / 1000, nil
+}

@@ -1,0 +1,106 @@
+package platform
+
+import (
+	"testing"
+
+	"vfreq/internal/host"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+func newSimV1(t *testing.T) (*SimV1, *vm.Manager) {
+	t.Helper()
+	m, err := host.New(host.Chetemi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := vm.NewManager(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimV1(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mgr
+}
+
+func TestSimV1UsageMatchesV2(t *testing.T) {
+	v1, mgr := newSimV1(t)
+	v2 := NewSim(mgr)
+	if _, err := mgr.Provision("a", vm.Small(),
+		[]workload.Source{workload.Busy(), workload.Busy()}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Machine().Advance(1_000_000)
+	u1, err := v1.UsageUs("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := v2.UsageUs("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != u2 {
+		t.Fatalf("v1 usage %d != v2 usage %d", u1, u2)
+	}
+}
+
+func TestSimV1QuotaControls(t *testing.T) {
+	v1, mgr := newSimV1(t)
+	if _, err := mgr.Provision("a", vm.Small(),
+		[]workload.Source{workload.Busy(), workload.Busy()}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if err := v1.SetMax("a", j, 25_000, 100_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := v1.UsageUs("a", 0)
+	mgr.Machine().Advance(1_000_000)
+	after, _ := v1.UsageUs("a", 0)
+	if got := after - before; got != 250_000 {
+		t.Fatalf("capped delta = %d, want 250000", got)
+	}
+	if err := v1.ClearMax("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _ = v1.UsageUs("a", 0)
+	mgr.Machine().Advance(1_000_000)
+	after, _ = v1.UsageUs("a", 0)
+	if got := after - before; got != 1_000_000 {
+		t.Fatalf("cleared delta = %d, want 1000000", got)
+	}
+}
+
+func TestSimV1ThreadAndFreq(t *testing.T) {
+	v1, mgr := newSimV1(t)
+	if _, err := mgr.Provision("a", vm.Small(), nil); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Machine().Advance(100_000)
+	tid, err := v1.ThreadID("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v1.LastCPU(tid); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := v1.CoreFreqMHz(0); err != nil || f <= 0 {
+		t.Fatalf("freq = %d, %v", f, err)
+	}
+}
+
+func TestSimV1BurstUnsupported(t *testing.T) {
+	v1, mgr := newSimV1(t)
+	if _, err := mgr.Provision("a", vm.Small(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.SetBurst("a", 0, 0); err != nil {
+		t.Fatalf("zero burst should be a no-op: %v", err)
+	}
+	if err := v1.SetBurst("a", 0, 1000); err == nil {
+		t.Fatal("v1 burst accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package procfs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vfreq/internal/memfs"
+	"vfreq/internal/sched"
+)
+
+func TestRegisterAndRead(t *testing.T) {
+	fs := memfs.New()
+	s := sched.New(2)
+	tab, err := New(fs, s, Mount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread(nil, nil)
+	if err := tab.Register(th, "CPU 0/KVM"); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(10_000)
+	line, err := fs.ReadFile(fmt.Sprintf("/proc/%d/stat", th.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := ParseStatLastCPU(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != th.LastCPU {
+		t.Fatalf("parsed cpu %d, thread LastCPU %d", cpu, th.LastCPU)
+	}
+	ticks, err := ParseStatUtimeTicks(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 1 { // 10 ms = 1 tick at USER_HZ=100
+		t.Fatalf("utime ticks = %d, want 1", ticks)
+	}
+	comm, _ := fs.ReadFile(fmt.Sprintf("/proc/%d/comm", th.ID))
+	if comm != "CPU 0/KVM\n" {
+		t.Fatalf("comm = %q", comm)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	fs := memfs.New()
+	s := sched.New(1)
+	tab, _ := New(fs, s, Mount)
+	th := s.NewThread(nil, nil)
+	if err := tab.Register(th, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Unregister(th.ID); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists(fmt.Sprintf("/proc/%d", th.ID)) {
+		t.Fatal("proc dir survived unregister")
+	}
+}
+
+func TestFormatStatFieldCount(t *testing.T) {
+	line := FormatStat(42, "qemu", 120_000, 3)
+	// comm has no spaces here, so fields split cleanly.
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 52 {
+		t.Fatalf("stat has %d fields, want 52", len(fields))
+	}
+	if fields[0] != "42" || fields[1] != "(qemu)" || fields[2] != "R" {
+		t.Fatalf("header fields wrong: %v", fields[:3])
+	}
+	if fields[13] != "12" {
+		t.Fatalf("utime = %s, want 12", fields[13])
+	}
+	if fields[38] != "3" {
+		t.Fatalf("processor = %s, want 3", fields[38])
+	}
+}
+
+func TestParseHandlesSpacesInComm(t *testing.T) {
+	line := FormatStat(7, "CPU 0/KVM", 0, 5)
+	cpu, err := ParseStatLastCPU(line)
+	if err != nil || cpu != 5 {
+		t.Fatalf("cpu = %d, %v", cpu, err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := ParseStatLastCPU("not a stat line"); err == nil {
+		t.Fatal("parsed garbage")
+	}
+	if _, err := ParseStatLastCPU("1 (x) R 0 0"); err == nil {
+		t.Fatal("parsed short line")
+	}
+	if _, err := ParseStatUtimeTicks("nope"); err == nil {
+		t.Fatal("utime parsed garbage")
+	}
+}
+
+func TestNegativeLastCPUReportedAsZero(t *testing.T) {
+	line := FormatStat(1, "x", 0, -1)
+	cpu, err := ParseStatLastCPU(line)
+	if err != nil || cpu != 0 {
+		t.Fatalf("cpu = %d, %v; want 0", cpu, err)
+	}
+}
+
+// Property: format → parse round-trips the processor and utime fields for
+// any comm string, including parentheses and spaces.
+func TestQuickStatRoundTrip(t *testing.T) {
+	f := func(tid uint16, comm string, usage uint32, cpu uint8) bool {
+		if strings.ContainsAny(comm, "\n") {
+			comm = "x"
+		}
+		line := FormatStat(int(tid), comm+")", int64(usage), int(cpu))
+		got, err := ParseStatLastCPU(line)
+		if err != nil || got != int(cpu) {
+			return false
+		}
+		ticks, err := ParseStatUtimeTicks(line)
+		return err == nil && ticks == int64(usage)/10_000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

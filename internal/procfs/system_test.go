@@ -1,0 +1,100 @@
+package procfs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vfreq/internal/memfs"
+	"vfreq/internal/sched"
+)
+
+func mountedTable(t *testing.T, cores int) (*memfs.FS, *sched.Scheduler) {
+	t.Helper()
+	fs := memfs.New()
+	s := sched.New(cores)
+	if _, err := New(fs, s, Mount); err != nil {
+		t.Fatal(err)
+	}
+	return fs, s
+}
+
+func TestProcStat(t *testing.T) {
+	fs, s := mountedTable(t, 2)
+	s.NewThread(nil, nil) // saturates one core
+	for i := 0; i < 100; i++ {
+		s.Tick(10_000) // 1 s
+	}
+	content, err := fs.ReadFile(Mount + "/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	if !strings.HasPrefix(lines[0], "cpu  ") {
+		t.Fatalf("aggregate line missing: %q", lines[0])
+	}
+	var user, nice, system, idle int64
+	if _, err := fmt.Sscanf(lines[0], "cpu %d %d %d %d", &user, &nice, &system, &idle); err != nil {
+		t.Fatal(err)
+	}
+	// One core busy for 1 s = 100 jiffies; one idle = 100 jiffies.
+	if user != 100 || idle != 100 {
+		t.Fatalf("user=%d idle=%d, want 100/100", user, idle)
+	}
+	// Per-cpu lines present.
+	if !strings.HasPrefix(lines[1], "cpu0 ") || !strings.HasPrefix(lines[2], "cpu1 ") {
+		t.Fatalf("per-cpu lines missing:\n%s", content)
+	}
+}
+
+func TestProcLoadAvg(t *testing.T) {
+	fs, s := mountedTable(t, 4)
+	for i := 0; i < 3; i++ {
+		s.NewThread(nil, nil)
+	}
+	// Run long enough for the 1-minute average to converge upward.
+	for i := 0; i < 18_000; i++ { // 180 s
+		s.Tick(10_000)
+	}
+	content, err := fs.ReadFile(Mount + "/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1, l5, l15 float64
+	var frac string
+	if _, err := fmt.Sscanf(content, "%f %f %f %s", &l1, &l5, &l15, &frac); err != nil {
+		t.Fatal(err)
+	}
+	if l1 < 2.8 || l1 > 3.1 {
+		t.Fatalf("load1 = %v, want ≈3", l1)
+	}
+	if l5 < l15 {
+		t.Fatalf("load5 %v < load15 %v after monotone ramp", l5, l15)
+	}
+	if frac != "3/3" {
+		t.Fatalf("runnable fraction = %q, want 3/3", frac)
+	}
+}
+
+func TestProcUptime(t *testing.T) {
+	fs, s := mountedTable(t, 2)
+	s.NewThread(nil, nil)
+	for i := 0; i < 200; i++ { // 2 s
+		s.Tick(10_000)
+	}
+	content, err := fs.ReadFile(Mount + "/uptime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up, idle float64
+	if _, err := fmt.Sscanf(content, "%f %f", &up, &idle); err != nil {
+		t.Fatal(err)
+	}
+	if up != 2.0 {
+		t.Fatalf("uptime = %v, want 2.0", up)
+	}
+	// 2 cores × 2 s − 2 s busy = 2 s idle.
+	if idle != 2.0 {
+		t.Fatalf("idle = %v, want 2.0", idle)
+	}
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTick measures one scheduler tick for a given topology.
+func benchTick(b *testing.B, vms, vcpusPer int, quota int64) {
+	b.Helper()
+	s := New(64)
+	for i := 0; i < vms; i++ {
+		g := s.NewGroup(nil, fmt.Sprintf("vm%d", i))
+		if quota > 0 {
+			if err := g.SetQuota(quota, DefaultPeriodUs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < vcpusPer; j++ {
+			s.NewThread(g, nil)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick(10_000)
+	}
+}
+
+func BenchmarkTick10VMs(b *testing.B)  { benchTick(b, 10, 2, 0) }
+func BenchmarkTick50VMs(b *testing.B)  { benchTick(b, 50, 4, 0) }
+func BenchmarkTick200VMs(b *testing.B) { benchTick(b, 200, 4, 0) }
+
+func BenchmarkTickQuota50VMs(b *testing.B) { benchTick(b, 50, 4, 25_000) }
+
+func BenchmarkWaterfill(b *testing.B) {
+	ents := make([]*entity, 128)
+	for i := range ents {
+		ents[i] = &entity{weight: int64(i%7)*50 + 50, need: int64(i%13)*1000 + 500}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range ents {
+			e.got = 0
+		}
+		waterfill(ents, 200_000)
+	}
+}
+
+func BenchmarkDeepHierarchy(b *testing.B) {
+	s := New(16)
+	g := s.Root()
+	for d := 0; d < 8; d++ {
+		g = s.NewGroup(g, fmt.Sprintf("d%d", d))
+		s.NewThread(g, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick(10_000)
+	}
+}

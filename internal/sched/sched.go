@@ -1,0 +1,681 @@
+// Package sched implements a discrete-time "fluid" model of the Linux
+// Completely Fair Scheduler (CFS) with cgroup v2 semantics: hierarchical
+// weighted fair sharing between groups and CFS bandwidth control
+// (cpu.max quota/period) with throttling accounting.
+//
+// Instead of simulating per-core run queues at nanosecond granularity, the
+// scheduler distributes the machine's CPU time for one tick (typically
+// 10 ms) over the runnable threads by hierarchical weighted max-min
+// fairness (progressive filling). Over the aggregation windows a frequency
+// controller observes (≥ 100 ms), this fluid allocation is exactly the
+// long-run behaviour of CFS: CPU time divided between sibling cgroups in
+// proportion to cpu.weight, each thread bounded by one core, and each
+// group bounded by its bandwidth quota within the current period window.
+//
+// The model reproduces the phenomenon the paper builds on: with one cgroup
+// per VM (as KVM/libvirt create), CFS shares time per VM, not per vCPU, so
+// a 2-vCPU VM and a 4-vCPU VM receive the same total time when both are
+// saturated.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultWeight is the default cpu.weight of a cgroup.
+const DefaultWeight = 100
+
+// NoQuota indicates an unlimited bandwidth quota ("max" in cpu.max).
+const NoQuota = int64(-1)
+
+// DefaultPeriodUs is the default CFS bandwidth period (100 ms), matching
+// the Linux default.
+const DefaultPeriodUs = int64(100_000)
+
+// Thread is a schedulable entity (one kernel thread, e.g. one vCPU).
+type Thread struct {
+	ID    int
+	Group *Group
+
+	// Demand reports the fraction of the next dt microseconds the
+	// thread wants to run, in [0, 1]. Nil means always runnable at 1.
+	Demand func(nowUs, dtUs int64) float64
+
+	// OnRun, if non-nil, is invoked after each tick with the time the
+	// thread actually ran and the frequency of the core it ran on.
+	OnRun func(nowUs, ranUs int64, coreFreqMHz int64)
+
+	// UsageUs is the cumulative CPU time consumed, in microseconds.
+	UsageUs int64
+
+	// LastCPU is the core the thread last ran on (-1 before first run).
+	LastCPU int
+
+	// demand for the current tick, in µs (internal).
+	want int64
+	// allocation for the current tick, in µs (internal).
+	got int64
+}
+
+// Group is a node in the cgroup hierarchy.
+type Group struct {
+	Name     string
+	Parent   *Group
+	Children []*Group
+	Threads  []*Thread
+
+	// Weight is the cpu.weight (1..10000, default 100).
+	Weight int64
+
+	// QuotaUs is the bandwidth quota per PeriodUs, or NoQuota.
+	QuotaUs  int64
+	PeriodUs int64
+
+	// BurstUs is the CFS bandwidth burst budget (cpu.max.burst):
+	// quota left unused in previous periods accumulates up to BurstUs
+	// and may be spent on top of the quota in a later period.
+	BurstUs int64
+
+	// UsageUs is the cumulative CPU time of the subtree (cpu.stat).
+	UsageUs int64
+
+	// NrPeriods, NrThrottled and ThrottledUs mirror the cpu.stat
+	// bandwidth statistics.
+	NrPeriods   int64
+	NrThrottled int64
+	ThrottledUs int64
+
+	// NrBursts and BurstUsedUs mirror the cpu.stat burst statistics:
+	// periods in which the group ran beyond its quota, and the total
+	// time spent doing so.
+	NrBursts    int64
+	BurstUsedUs int64
+
+	windowStartUs int64
+	windowUsedUs  int64
+	burstReserve  int64
+	throttledNow  bool
+
+	// PSI (pressure stall information) exponential averages of the
+	// fraction of wall-clock time the group spent throttled with
+	// runnable threads, mirroring cpu.pressure's avg10/avg60/avg300.
+	psiAvg10, psiAvg60, psiAvg300 float64
+	psiStallUs                    int64
+}
+
+// Scheduler simulates a multi-core machine's CPU-time allocation.
+type Scheduler struct {
+	Cores int
+
+	root    *Group
+	nowUs   int64
+	nextTID int
+	threads map[int]*Thread
+
+	// coreLoadUs holds the busy time of each core in the last tick.
+	coreLoadUs []int64
+	lastDtUs   int64
+
+	// coreBusyTotalUs accumulates per-core busy time since boot
+	// (/proc/stat).
+	coreBusyTotalUs []int64
+
+	// load averages over 1/5/15 minutes of the runnable thread count
+	// (/proc/loadavg).
+	load1, load5, load15 float64
+}
+
+// New creates a scheduler for a machine with the given number of logical
+// cores. The root cgroup has no quota.
+func New(cores int) *Scheduler {
+	if cores <= 0 {
+		panic("sched: cores must be positive")
+	}
+	return &Scheduler{
+		Cores: cores,
+		root: &Group{
+			Name:     "/",
+			Weight:   DefaultWeight,
+			QuotaUs:  NoQuota,
+			PeriodUs: DefaultPeriodUs,
+		},
+		nextTID:         1,
+		threads:         map[int]*Thread{},
+		coreLoadUs:      make([]int64, cores),
+		coreBusyTotalUs: make([]int64, cores),
+	}
+}
+
+// Root returns the root cgroup.
+func (s *Scheduler) Root() *Group { return s.root }
+
+// NowUs returns the current simulated time in microseconds.
+func (s *Scheduler) NowUs() int64 { return s.nowUs }
+
+// NewGroup creates a child cgroup of parent with the default weight and no
+// quota. A nil parent means the root.
+func (s *Scheduler) NewGroup(parent *Group, name string) *Group {
+	if parent == nil {
+		parent = s.root
+	}
+	g := &Group{
+		Name:          name,
+		Parent:        parent,
+		Weight:        DefaultWeight,
+		QuotaUs:       NoQuota,
+		PeriodUs:      DefaultPeriodUs,
+		windowStartUs: s.nowUs,
+	}
+	parent.Children = append(parent.Children, g)
+	return g
+}
+
+// RemoveGroup detaches g (and its whole subtree) from the hierarchy.
+func (s *Scheduler) RemoveGroup(g *Group) error {
+	if g == s.root {
+		return fmt.Errorf("sched: cannot remove root group")
+	}
+	var rec func(*Group)
+	rec = func(n *Group) {
+		for _, t := range n.Threads {
+			delete(s.threads, t.ID)
+		}
+		n.Threads = nil
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(g)
+	p := g.Parent
+	for i, c := range p.Children {
+		if c == g {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	g.Parent = nil
+	return nil
+}
+
+// SetQuota configures bandwidth control for g. quotaUs may be NoQuota.
+func (g *Group) SetQuota(quotaUs, periodUs int64) error {
+	if periodUs <= 0 {
+		return fmt.Errorf("sched: period must be positive, got %d", periodUs)
+	}
+	if quotaUs < 0 && quotaUs != NoQuota {
+		return fmt.Errorf("sched: invalid quota %d", quotaUs)
+	}
+	g.QuotaUs = quotaUs
+	g.PeriodUs = periodUs
+	return nil
+}
+
+// SetBurst configures the bandwidth burst budget (cpu.max.burst). The
+// kernel rejects bursts without a quota or larger than the quota.
+func (g *Group) SetBurst(burstUs int64) error {
+	if burstUs < 0 {
+		return fmt.Errorf("sched: invalid burst %d", burstUs)
+	}
+	if burstUs > 0 && g.QuotaUs == NoQuota {
+		return fmt.Errorf("sched: burst requires a quota")
+	}
+	if burstUs > 0 && burstUs > g.QuotaUs {
+		return fmt.Errorf("sched: burst %d exceeds quota %d", burstUs, g.QuotaUs)
+	}
+	g.BurstUs = burstUs
+	if g.burstReserve > burstUs {
+		g.burstReserve = burstUs
+	}
+	return nil
+}
+
+// PSI returns the group's CPU pressure averages: the fraction of time
+// the group was throttled while having runnable demand, over ~10 s,
+// ~60 s and ~300 s horizons, plus the total stall time in microseconds
+// (the cpu.pressure "some" line).
+func (g *Group) PSI() (avg10, avg60, avg300 float64, totalUs int64) {
+	return g.psiAvg10, g.psiAvg60, g.psiAvg300, g.psiStallUs
+}
+
+// Path returns the slash-separated path of the group from the root.
+func (g *Group) Path() string {
+	if g.Parent == nil {
+		return "/"
+	}
+	p := g.Parent.Path()
+	if p == "/" {
+		return "/" + g.Name
+	}
+	return p + "/" + g.Name
+}
+
+// NewThread creates a runnable thread in group g and returns it. The
+// thread ID is unique within the scheduler.
+func (s *Scheduler) NewThread(g *Group, demand func(nowUs, dtUs int64) float64) *Thread {
+	if g == nil {
+		g = s.root
+	}
+	t := &Thread{
+		ID:      s.nextTID,
+		Group:   g,
+		Demand:  demand,
+		LastCPU: -1,
+	}
+	s.nextTID++
+	g.Threads = append(g.Threads, t)
+	s.threads[t.ID] = t
+	return t
+}
+
+// RemoveThread removes t from the scheduler.
+func (s *Scheduler) RemoveThread(t *Thread) {
+	delete(s.threads, t.ID)
+	g := t.Group
+	for i, x := range g.Threads {
+		if x == t {
+			g.Threads = append(g.Threads[:i], g.Threads[i+1:]...)
+			break
+		}
+	}
+	t.Group = nil
+}
+
+// Thread returns the thread with the given ID, or nil.
+func (s *Scheduler) Thread(id int) *Thread { return s.threads[id] }
+
+// Threads returns all thread IDs in a group (not recursive), sorted.
+func (g *Group) ThreadIDs() []int {
+	ids := make([]int, len(g.Threads))
+	for i, t := range g.Threads {
+		ids[i] = t.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// CoreLoadUs returns the busy microseconds of core c during the last tick.
+func (s *Scheduler) CoreLoadUs(c int) int64 { return s.coreLoadUs[c] }
+
+// CoreUtilization returns the utilisation of core c over the last tick, in
+// [0, 1]. Before the first tick it returns 0.
+func (s *Scheduler) CoreUtilization(c int) float64 {
+	if s.lastDtUs == 0 {
+		return 0
+	}
+	return float64(s.coreLoadUs[c]) / float64(s.lastDtUs)
+}
+
+// Utilization returns the machine-wide utilisation over the last tick.
+func (s *Scheduler) Utilization() float64 {
+	if s.lastDtUs == 0 {
+		return 0
+	}
+	var busy int64
+	for _, l := range s.coreLoadUs {
+		busy += l
+	}
+	return float64(busy) / float64(s.lastDtUs*int64(s.Cores))
+}
+
+// Alloc reports the outcome of one tick for one thread.
+type Alloc struct {
+	Thread *Thread
+	RanUs  int64
+	Core   int
+}
+
+// entity is a schedulable child of a group during one tick: either a
+// thread or a sub-group.
+type entity struct {
+	thread *Thread
+	group  *Group
+	weight int64
+	need   int64
+	got    int64
+}
+
+// Tick advances the simulation by dt microseconds, distributing CPU time
+// over runnable threads. It returns the per-thread allocations. The caller
+// is responsible for invoking thread OnRun callbacks with core
+// frequencies; Tick itself updates usage counters, bandwidth windows and
+// thread placement.
+func (s *Scheduler) Tick(dtUs int64) []Alloc {
+	if dtUs <= 0 {
+		panic("sched: dt must be positive")
+	}
+	s.refreshWindows(s.root, dtUs)
+
+	// Gather demands.
+	var runnable []*Thread
+	s.collectDemands(s.root, dtUs, &runnable)
+
+	capacity := dtUs * int64(s.Cores)
+	s.allocate(s.root, capacity, dtUs)
+
+	// Record usage, build allocations, place threads on cores.
+	allocs := make([]Alloc, 0, len(runnable))
+	for _, t := range runnable {
+		if t.got < 0 {
+			panic("sched: negative allocation")
+		}
+		if t.got == 0 {
+			continue
+		}
+		t.UsageUs += t.got
+		for g := t.Group; g != nil; g = g.Parent {
+			g.UsageUs += t.got
+			g.windowUsedUs += t.got
+		}
+		allocs = append(allocs, Alloc{Thread: t, RanUs: t.got})
+	}
+	s.placeOnCores(allocs, dtUs)
+	s.recordThrottling(s.root, dtUs)
+	for c, l := range s.coreLoadUs {
+		s.coreBusyTotalUs[c] += l
+	}
+	s.updateLoadAvg(len(runnable), dtUs)
+	s.nowUs += dtUs
+	s.lastDtUs = dtUs
+	return allocs
+}
+
+// updateLoadAvg blends the runnable thread count into the 1/5/15-minute
+// exponential load averages.
+func (s *Scheduler) updateLoadAvg(runnable int, dtUs int64) {
+	blend := func(avg *float64, windowUs float64) {
+		alpha := float64(dtUs) / windowUs
+		if alpha > 1 {
+			alpha = 1
+		}
+		*avg = *avg*(1-alpha) + float64(runnable)*alpha
+	}
+	blend(&s.load1, 60e6)
+	blend(&s.load5, 300e6)
+	blend(&s.load15, 900e6)
+}
+
+// LoadAvg returns the 1/5/15-minute load averages (runnable threads).
+func (s *Scheduler) LoadAvg() (l1, l5, l15 float64) { return s.load1, s.load5, s.load15 }
+
+// CoreBusyTotalUs returns core c's cumulative busy time since boot.
+func (s *Scheduler) CoreBusyTotalUs(c int) int64 { return s.coreBusyTotalUs[c] }
+
+// RunnableCount returns the number of registered threads.
+func (s *Scheduler) RunnableCount() int { return len(s.threads) }
+
+// refreshWindows opens new bandwidth periods where due, settling the
+// burst reserve: unused quota accumulates (up to BurstUs) and overruns
+// drain it.
+func (s *Scheduler) refreshWindows(g *Group, dtUs int64) {
+	if g.QuotaUs != NoQuota {
+		for s.nowUs-g.windowStartUs >= g.PeriodUs {
+			if over := g.windowUsedUs - g.QuotaUs; over > 0 {
+				g.burstReserve -= over
+				if g.burstReserve < 0 {
+					g.burstReserve = 0
+				}
+				g.NrBursts++
+				g.BurstUsedUs += over
+			} else {
+				g.burstReserve += -over
+				if g.burstReserve > g.BurstUs {
+					g.burstReserve = g.BurstUs
+				}
+			}
+			g.windowStartUs += g.PeriodUs
+			g.windowUsedUs = 0
+			g.NrPeriods++
+			g.throttledNow = false
+		}
+	}
+	for _, c := range g.Children {
+		s.refreshWindows(c, dtUs)
+	}
+}
+
+// collectDemands evaluates thread demands for the next tick.
+func (s *Scheduler) collectDemands(g *Group, dtUs int64, out *[]*Thread) {
+	for _, t := range g.Threads {
+		f := 1.0
+		if t.Demand != nil {
+			f = t.Demand(s.nowUs, dtUs)
+		}
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		t.want = int64(f * float64(dtUs))
+		t.got = 0
+		if t.want > 0 {
+			*out = append(*out, t)
+		}
+	}
+	for _, c := range g.Children {
+		s.collectDemands(c, dtUs, out)
+	}
+}
+
+// quotaRemaining returns how much CPU time group g may still consume in
+// its current bandwidth window, unconstrained groups return max.
+func (g *Group) quotaRemaining() int64 {
+	if g.QuotaUs == NoQuota {
+		return int64(1) << 62
+	}
+	r := g.QuotaUs + g.burstReserve - g.windowUsedUs
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// need computes the feasible demand of the subtree rooted at g for this
+// tick: the sum of thread demands, clamped by every quota on the way down.
+func (g *Group) need() int64 {
+	var sum int64
+	for _, t := range g.Threads {
+		sum += t.want - t.got
+	}
+	for _, c := range g.Children {
+		sum += c.need()
+	}
+	if q := g.quotaRemaining(); sum > q {
+		sum = q
+	}
+	return sum
+}
+
+// allocate distributes capacity µs of CPU time within group g using
+// weighted max-min fairness over its children (sub-groups and direct
+// threads). dtUs bounds each thread at one core.
+func (s *Scheduler) allocate(g *Group, capacity, dtUs int64) {
+	if q := g.quotaRemaining(); capacity > q {
+		capacity = q
+	}
+	if capacity <= 0 {
+		return
+	}
+	// Build child entities.
+	ents := make([]*entity, 0, len(g.Children)+len(g.Threads))
+	for _, t := range g.Threads {
+		if n := t.want - t.got; n > 0 {
+			ents = append(ents, &entity{thread: t, weight: DefaultWeight, need: n})
+		}
+	}
+	for _, c := range g.Children {
+		if n := c.need(); n > 0 {
+			w := c.Weight
+			if w <= 0 {
+				w = DefaultWeight
+			}
+			ents = append(ents, &entity{group: c, weight: w, need: n})
+		}
+	}
+	if len(ents) == 0 {
+		return
+	}
+	waterfill(ents, capacity)
+	for _, e := range ents {
+		if e.got == 0 {
+			continue
+		}
+		if e.thread != nil {
+			e.thread.got += e.got
+		} else {
+			s.allocate(e.group, e.got, dtUs)
+		}
+	}
+}
+
+// waterfill distributes capacity among entities by weighted max-min
+// fairness with exact integer conservation: Σ got ≤ capacity, got ≤ need,
+// and no entity can gain without another losing.
+func waterfill(ents []*entity, capacity int64) {
+	active := make([]*entity, len(ents))
+	copy(active, ents)
+	for capacity > 0 && len(active) > 0 {
+		var sumW int64
+		for _, e := range active {
+			sumW += e.weight
+		}
+		snapshot := capacity
+		progress := false
+		next := active[:0]
+		for _, e := range active {
+			share := snapshot * e.weight / sumW
+			if share > capacity {
+				share = capacity
+			}
+			give := e.need - e.got
+			if give > share {
+				give = share
+			}
+			if give > 0 {
+				e.got += give
+				capacity -= give
+				progress = true
+			}
+			if e.got < e.need {
+				next = append(next, e)
+			}
+		}
+		active = next
+		if !progress {
+			// Integer shares rounded to zero: hand out the
+			// remainder one microsecond at a time, highest
+			// weight first.
+			sort.SliceStable(active, func(i, j int) bool {
+				return active[i].weight > active[j].weight
+			})
+			for capacity > 0 && len(active) > 0 {
+				next := active[:0]
+				for _, e := range active {
+					if capacity == 0 {
+						next = append(next, e)
+						continue
+					}
+					e.got++
+					capacity--
+					if e.got < e.need {
+						next = append(next, e)
+					}
+				}
+				active = next
+			}
+		}
+	}
+}
+
+// placeOnCores assigns each allocation to a core for the tick. Threads
+// prefer their previous core if it has room (models CFS affinity: loaded
+// threads migrate rarely); otherwise they go to the least-loaded core.
+func (s *Scheduler) placeOnCores(allocs []Alloc, dtUs int64) {
+	for i := range s.coreLoadUs {
+		s.coreLoadUs[i] = 0
+	}
+	// Largest allocations first gives first-fit-decreasing packing.
+	order := make([]int, len(allocs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return allocs[order[a]].RanUs > allocs[order[b]].RanUs
+	})
+	for _, idx := range order {
+		a := &allocs[idx]
+		t := a.Thread
+		core := -1
+		if t.LastCPU >= 0 && t.LastCPU < s.Cores &&
+			s.coreLoadUs[t.LastCPU]+a.RanUs <= dtUs {
+			core = t.LastCPU
+		} else {
+			least := int64(1) << 62
+			for c := 0; c < s.Cores; c++ {
+				if s.coreLoadUs[c] < least {
+					least = s.coreLoadUs[c]
+					core = c
+				}
+			}
+		}
+		s.coreLoadUs[core] += a.RanUs
+		t.LastCPU = core
+		a.Core = core
+	}
+}
+
+// recordThrottling updates cpu.stat-style throttling counters and the PSI
+// pressure averages: a group is throttled in a tick when its quota window
+// is exhausted while its threads still have unmet demand.
+func (s *Scheduler) recordThrottling(g *Group, dtUs int64) {
+	stalled := false
+	if g.QuotaUs != NoQuota && g.quotaRemaining() == 0 {
+		unmet := int64(0)
+		var rec func(*Group)
+		rec = func(n *Group) {
+			for _, t := range n.Threads {
+				if t.want > t.got {
+					unmet += t.want - t.got
+				}
+			}
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		rec(g)
+		if unmet > 0 {
+			if !g.throttledNow {
+				g.NrThrottled++
+				g.throttledNow = true
+			}
+			g.ThrottledUs += unmet
+			stalled = true
+		}
+	}
+	g.updatePSI(stalled, dtUs)
+	for _, c := range g.Children {
+		s.recordThrottling(c, dtUs)
+	}
+}
+
+// updatePSI advances the pressure averages by one tick. The averages are
+// exponentially weighted over 10/60/300-second horizons, as the kernel's
+// cpu.pressure reports.
+func (g *Group) updatePSI(stalled bool, dtUs int64) {
+	v := 0.0
+	if stalled {
+		v = 1
+		g.psiStallUs += dtUs
+	}
+	blend := func(avg *float64, windowUs float64) {
+		alpha := float64(dtUs) / windowUs
+		if alpha > 1 {
+			alpha = 1
+		}
+		*avg = *avg*(1-alpha) + v*alpha
+	}
+	blend(&g.psiAvg10, 10e6)
+	blend(&g.psiAvg60, 60e6)
+	blend(&g.psiAvg300, 300e6)
+}

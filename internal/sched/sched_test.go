@@ -1,0 +1,497 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tick = int64(10_000) // 10 ms
+
+func TestSingleThreadFullCore(t *testing.T) {
+	s := New(1)
+	th := s.NewThread(nil, nil)
+	allocs := s.Tick(tick)
+	if len(allocs) != 1 {
+		t.Fatalf("got %d allocs, want 1", len(allocs))
+	}
+	if allocs[0].RanUs != tick {
+		t.Fatalf("RanUs = %d, want %d", allocs[0].RanUs, tick)
+	}
+	if th.UsageUs != tick {
+		t.Fatalf("UsageUs = %d, want %d", th.UsageUs, tick)
+	}
+}
+
+func TestTwoThreadsShareOneCore(t *testing.T) {
+	s := New(1)
+	a := s.NewThread(nil, nil)
+	b := s.NewThread(nil, nil)
+	s.Tick(tick)
+	if a.UsageUs+b.UsageUs != tick {
+		t.Fatalf("total usage = %d, want %d", a.UsageUs+b.UsageUs, tick)
+	}
+	if diff := a.UsageUs - b.UsageUs; diff > 1 || diff < -1 {
+		t.Fatalf("unfair split: %d vs %d", a.UsageUs, b.UsageUs)
+	}
+}
+
+func TestDemandBelowCapacity(t *testing.T) {
+	s := New(2)
+	th := s.NewThread(nil, func(now, dt int64) float64 { return 0.25 })
+	s.Tick(tick)
+	if th.UsageUs != tick/4 {
+		t.Fatalf("UsageUs = %d, want %d", th.UsageUs, tick/4)
+	}
+}
+
+func TestThreadBoundedByOneCore(t *testing.T) {
+	s := New(4)
+	th := s.NewThread(nil, nil)
+	s.Tick(tick)
+	if th.UsageUs != tick {
+		t.Fatalf("single thread on 4 cores: UsageUs = %d, want %d (one core)", th.UsageUs, tick)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	s := New(1)
+	ga := s.NewGroup(nil, "a")
+	gb := s.NewGroup(nil, "b")
+	ga.Weight = 200
+	gb.Weight = 100
+	a := s.NewThread(ga, nil)
+	b := s.NewThread(gb, nil)
+	for i := 0; i < 100; i++ {
+		s.Tick(tick)
+	}
+	total := a.UsageUs + b.UsageUs
+	if total != 100*tick {
+		t.Fatalf("total = %d, want %d", total, 100*tick)
+	}
+	ratio := float64(a.UsageUs) / float64(b.UsageUs)
+	if ratio < 1.95 || ratio > 2.05 {
+		t.Fatalf("weight 200:100 gave ratio %.3f, want ~2", ratio)
+	}
+}
+
+// The Fig. 1 scenario of the paper: three threads on one core where a is
+// entitled to twice the time of b and c, enforced via quotas of 0.5/0.25/
+// 0.25 of the period.
+func TestFig1QuotaSplit(t *testing.T) {
+	s := New(1)
+	mk := func(name string, quota int64) (*Group, *Thread) {
+		g := s.NewGroup(nil, name)
+		if err := g.SetQuota(quota, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		return g, s.NewThread(g, nil)
+	}
+	_, a := mk("a", 50_000)
+	_, b := mk("b", 25_000)
+	_, c := mk("c", 25_000)
+	for i := 0; i < 100; i++ { // 1 s
+		s.Tick(tick)
+	}
+	total := float64(a.UsageUs + b.UsageUs + c.UsageUs)
+	fa, fb, fc := float64(a.UsageUs)/total, float64(b.UsageUs)/total, float64(c.UsageUs)/total
+	if fa < 0.47 || fa > 0.53 || fb < 0.22 || fb > 0.28 || fc < 0.22 || fc > 0.28 {
+		t.Fatalf("shares = %.2f/%.2f/%.2f, want 0.50/0.25/0.25", fa, fb, fc)
+	}
+}
+
+// CFS shares per cgroup (per VM), not per thread: a 2-thread group and a
+// 4-thread group on 2 saturated cores each get one core in total.
+func TestPerGroupFairnessNotPerThread(t *testing.T) {
+	s := New(2)
+	small := s.NewGroup(nil, "small")
+	large := s.NewGroup(nil, "large")
+	var sm, lg []*Thread
+	for i := 0; i < 2; i++ {
+		sm = append(sm, s.NewThread(small, nil))
+	}
+	for i := 0; i < 4; i++ {
+		lg = append(lg, s.NewThread(large, nil))
+	}
+	for i := 0; i < 50; i++ {
+		s.Tick(tick)
+	}
+	var smTot, lgTot int64
+	for _, t := range sm {
+		smTot += t.UsageUs
+	}
+	for _, t := range lg {
+		lgTot += t.UsageUs
+	}
+	if diff := float64(smTot-lgTot) / float64(smTot+lgTot); diff > 0.02 || diff < -0.02 {
+		t.Fatalf("group totals differ: small=%d large=%d", smTot, lgTot)
+	}
+	// Per-thread: small threads run twice as fast as large threads.
+	r := float64(sm[0].UsageUs) / float64(lg[0].UsageUs)
+	if r < 1.9 || r > 2.1 {
+		t.Fatalf("per-thread ratio = %.2f, want ~2", r)
+	}
+}
+
+// Paper §IV-A2 experiment a): 20 VMs with 4 vCPUs each, all saturated →
+// every vCPU runs at the same speed.
+func TestPaperCFSExperimentA(t *testing.T) {
+	s := New(40)
+	var threads []*Thread
+	for v := 0; v < 20; v++ {
+		g := s.NewGroup(nil, "vm")
+		for j := 0; j < 4; j++ {
+			threads = append(threads, s.NewThread(g, nil))
+		}
+	}
+	for i := 0; i < 50; i++ {
+		s.Tick(tick)
+	}
+	min, max := threads[0].UsageUs, threads[0].UsageUs
+	for _, th := range threads {
+		if th.UsageUs < min {
+			min = th.UsageUs
+		}
+		if th.UsageUs > max {
+			max = th.UsageUs
+		}
+	}
+	if float64(max-min)/float64(max) > 0.02 {
+		t.Fatalf("vCPU usage spread %.1f%% too large (min=%d max=%d)",
+			100*float64(max-min)/float64(max), min, max)
+	}
+}
+
+// Paper §IV-A2 experiment b): 40 VMs with 1 vCPU and 10 VMs with 4 vCPUs
+// on a fully loaded node → 4/5 of the resources go to the 1-vCPU VMs.
+func TestPaperCFSExperimentB(t *testing.T) {
+	s := New(40)
+	var ones, fours []*Thread
+	for v := 0; v < 40; v++ {
+		g := s.NewGroup(nil, "one")
+		ones = append(ones, s.NewThread(g, nil))
+	}
+	for v := 0; v < 10; v++ {
+		g := s.NewGroup(nil, "four")
+		for j := 0; j < 4; j++ {
+			fours = append(fours, s.NewThread(g, nil))
+		}
+	}
+	for i := 0; i < 50; i++ {
+		s.Tick(tick)
+	}
+	var oneTot, fourTot int64
+	for _, t := range ones {
+		oneTot += t.UsageUs
+	}
+	for _, t := range fours {
+		fourTot += t.UsageUs
+	}
+	frac := float64(oneTot) / float64(oneTot+fourTot)
+	if frac < 0.78 || frac > 0.82 {
+		t.Fatalf("1-vCPU VMs got %.2f of resources, want ~0.80", frac)
+	}
+}
+
+func TestQuotaEnforcedOverWindow(t *testing.T) {
+	s := New(1)
+	g := s.NewGroup(nil, "g")
+	if err := g.SetQuota(30_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread(g, nil)
+	for i := 0; i < 100; i++ { // 1 s = 10 windows
+		s.Tick(tick)
+	}
+	// 30 ms per 100 ms window → 300 ms out of 1 s.
+	if th.UsageUs != 300_000 {
+		t.Fatalf("UsageUs = %d, want 300000", th.UsageUs)
+	}
+	if g.NrThrottled == 0 || g.ThrottledUs == 0 {
+		t.Fatalf("expected throttling stats, got nr=%d us=%d", g.NrThrottled, g.ThrottledUs)
+	}
+}
+
+func TestQuotaUnusedWhenIdle(t *testing.T) {
+	s := New(1)
+	g := s.NewGroup(nil, "g")
+	if err := g.SetQuota(30_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread(g, func(now, dt int64) float64 { return 0.1 })
+	for i := 0; i < 100; i++ {
+		s.Tick(tick)
+	}
+	if th.UsageUs != 100_000 { // 10% demand, quota 30% → demand-bound
+		t.Fatalf("UsageUs = %d, want 100000", th.UsageUs)
+	}
+	if g.NrThrottled != 0 {
+		t.Fatalf("unexpected throttling: %d", g.NrThrottled)
+	}
+}
+
+func TestNestedQuota(t *testing.T) {
+	s := New(1)
+	outer := s.NewGroup(nil, "outer")
+	if err := outer.SetQuota(50_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	inner := s.NewGroup(outer, "inner")
+	if err := inner.SetQuota(80_000, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread(inner, nil)
+	for i := 0; i < 100; i++ {
+		s.Tick(tick)
+	}
+	// Outer quota (50%) binds despite inner allowing 80%.
+	if th.UsageUs != 500_000 {
+		t.Fatalf("UsageUs = %d, want 500000", th.UsageUs)
+	}
+}
+
+func TestWorkConservingAcrossGroups(t *testing.T) {
+	s := New(1)
+	ga := s.NewGroup(nil, "a")
+	gb := s.NewGroup(nil, "b")
+	a := s.NewThread(ga, func(now, dt int64) float64 { return 0.2 })
+	b := s.NewThread(gb, nil)
+	s.Tick(tick)
+	if a.UsageUs != tick/5 {
+		t.Fatalf("a usage = %d, want %d", a.UsageUs, tick/5)
+	}
+	if b.UsageUs != tick-tick/5 {
+		t.Fatalf("b usage = %d, want %d (leftover)", b.UsageUs, tick-tick/5)
+	}
+}
+
+func TestGroupUsagePropagates(t *testing.T) {
+	s := New(2)
+	parent := s.NewGroup(nil, "p")
+	child := s.NewGroup(parent, "c")
+	s.NewThread(child, nil)
+	s.NewThread(parent, nil)
+	s.Tick(tick)
+	if child.UsageUs != tick {
+		t.Fatalf("child usage = %d, want %d", child.UsageUs, tick)
+	}
+	if parent.UsageUs != 2*tick {
+		t.Fatalf("parent usage = %d, want %d", parent.UsageUs, 2*tick)
+	}
+	if s.Root().UsageUs != 2*tick {
+		t.Fatalf("root usage = %d, want %d", s.Root().UsageUs, 2*tick)
+	}
+}
+
+func TestCorePlacementBounds(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 8; i++ {
+		s.NewThread(nil, nil)
+	}
+	allocs := s.Tick(tick)
+	for _, a := range allocs {
+		if a.Core < 0 || a.Core >= 4 {
+			t.Fatalf("core %d out of range", a.Core)
+		}
+		if a.Thread.LastCPU != a.Core {
+			t.Fatalf("LastCPU %d != alloc core %d", a.Thread.LastCPU, a.Core)
+		}
+	}
+}
+
+func TestStickyPlacement(t *testing.T) {
+	s := New(4)
+	th := s.NewThread(nil, nil)
+	s.Tick(tick)
+	first := th.LastCPU
+	for i := 0; i < 20; i++ {
+		s.Tick(tick)
+		if th.LastCPU != first {
+			t.Fatalf("lone saturated thread migrated from %d to %d", first, th.LastCPU)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := New(2)
+	s.NewThread(nil, nil) // one thread saturates one of two cores
+	s.Tick(tick)
+	if u := s.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %.2f, want 0.5", u)
+	}
+	// One core fully busy, one idle.
+	busy, idle := 0, 0
+	for c := 0; c < 2; c++ {
+		switch u := s.CoreUtilization(c); {
+		case u > 0.99:
+			busy++
+		case u < 0.01:
+			idle++
+		}
+	}
+	if busy != 1 || idle != 1 {
+		t.Fatalf("core utilisations unexpected: busy=%d idle=%d", busy, idle)
+	}
+}
+
+func TestRemoveThread(t *testing.T) {
+	s := New(1)
+	a := s.NewThread(nil, nil)
+	b := s.NewThread(nil, nil)
+	s.RemoveThread(a)
+	s.Tick(tick)
+	if b.UsageUs != tick {
+		t.Fatalf("b usage = %d, want %d", b.UsageUs, tick)
+	}
+	if a.UsageUs != 0 {
+		t.Fatalf("removed thread ran: %d", a.UsageUs)
+	}
+	if s.Thread(a.ID) != nil {
+		t.Fatal("removed thread still registered")
+	}
+}
+
+func TestRemoveGroup(t *testing.T) {
+	s := New(1)
+	g := s.NewGroup(nil, "g")
+	sub := s.NewGroup(g, "sub")
+	th := s.NewThread(sub, nil)
+	other := s.NewThread(nil, nil)
+	if err := s.RemoveGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick(tick)
+	if th.UsageUs != 0 {
+		t.Fatal("thread in removed group ran")
+	}
+	if other.UsageUs != tick {
+		t.Fatalf("other usage = %d, want %d", other.UsageUs, tick)
+	}
+	if err := s.RemoveGroup(s.Root()); err == nil {
+		t.Fatal("removing root succeeded")
+	}
+}
+
+func TestGroupPath(t *testing.T) {
+	s := New(1)
+	a := s.NewGroup(nil, "a")
+	b := s.NewGroup(a, "b")
+	if got := b.Path(); got != "/a/b" {
+		t.Fatalf("Path = %q, want /a/b", got)
+	}
+	if got := s.Root().Path(); got != "/" {
+		t.Fatalf("root Path = %q", got)
+	}
+}
+
+func TestSetQuotaValidation(t *testing.T) {
+	s := New(1)
+	g := s.NewGroup(nil, "g")
+	if err := g.SetQuota(1000, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if err := g.SetQuota(-5, 100_000); err == nil {
+		t.Fatal("negative quota accepted")
+	}
+	if err := g.SetQuota(NoQuota, 100_000); err != nil {
+		t.Fatalf("NoQuota rejected: %v", err)
+	}
+}
+
+func TestOnRunCallback(t *testing.T) {
+	s := New(1)
+	var ran int64
+	th := s.NewThread(nil, nil)
+	th.OnRun = func(now, ranUs, freqMHz int64) { ran += ranUs }
+	allocs := s.Tick(tick)
+	for _, a := range allocs {
+		if a.Thread.OnRun != nil {
+			a.Thread.OnRun(s.NowUs(), a.RanUs, 2400)
+		}
+	}
+	if ran != tick {
+		t.Fatalf("OnRun accumulated %d, want %d", ran, tick)
+	}
+}
+
+// Property: for any random hierarchy and demands, the scheduler conserves
+// time (Σ alloc ≤ cores·dt), bounds threads at one core, and never lets a
+// group exceed its quota within a window.
+func TestQuickConservationAndQuota(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := rng.Intn(8) + 1
+		s := New(cores)
+		var groups []*Group
+		groups = append(groups, s.Root())
+		var quotaGroups []*Group
+		for i := 0; i < rng.Intn(6)+1; i++ {
+			parent := groups[rng.Intn(len(groups))]
+			g := s.NewGroup(parent, "g")
+			if rng.Intn(2) == 0 {
+				q := int64(rng.Intn(90_000) + 5_000)
+				if err := g.SetQuota(q, 100_000); err != nil {
+					return false
+				}
+				quotaGroups = append(quotaGroups, g)
+			}
+			groups = append(groups, g)
+		}
+		var threads []*Thread
+		for i := 0; i < rng.Intn(12)+1; i++ {
+			g := groups[rng.Intn(len(groups))]
+			d := rng.Float64()
+			threads = append(threads, s.NewThread(g, func(now, dt int64) float64 { return d }))
+		}
+		for it := 0; it < 30; it++ {
+			allocs := s.Tick(tick)
+			var total int64
+			for _, a := range allocs {
+				if a.RanUs < 0 || a.RanUs > tick {
+					return false
+				}
+				total += a.RanUs
+			}
+			if total > tick*int64(cores) {
+				return false
+			}
+		}
+		// Quota check over whole run: usage ≤ quota × windows elapsed.
+		windows := int64(30) * tick / 100_000
+		for _, g := range quotaGroups {
+			if g.UsageUs > g.QuotaUs*(windows+1) {
+				return false
+			}
+		}
+		_ = threads
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted shares are monotone — increasing a group's weight
+// never decreases its allocation when everything is saturated.
+func TestQuickWeightMonotonicity(t *testing.T) {
+	f := func(w8 uint8) bool {
+		w := int64(w8%200) + 1
+		run := func(weight int64) int64 {
+			s := New(1)
+			ga := s.NewGroup(nil, "a")
+			ga.Weight = weight
+			gb := s.NewGroup(nil, "b")
+			gb.Weight = 100
+			a := s.NewThread(ga, nil)
+			s.NewThread(gb, nil)
+			for i := 0; i < 20; i++ {
+				s.Tick(tick)
+			}
+			return a.UsageUs
+		}
+		return run(w+10) >= run(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package sysfs emulates the cpufreq subset of /sys the controller reads:
+// /sys/devices/system/cpu/cpu<N>/cpufreq/scaling_cur_freq (kHz) plus the
+// static scaling_min_freq, scaling_max_freq and scaling_governor files.
+package sysfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vfreq/internal/dvfs"
+	"vfreq/internal/memfs"
+)
+
+// Mount is the conventional location of the cpu devices tree.
+const Mount = "/sys/devices/system/cpu"
+
+// Mount exposes a dvfs.Model's per-core frequencies under mount inside fs.
+func MountModel(fs *memfs.FS, m *dvfs.Model, mount string) error {
+	if err := fs.MkdirAll(mount); err != nil {
+		return err
+	}
+	if err := fs.AddDynamic(mount+"/online", func() string {
+		if m.Cores() == 1 {
+			return "0\n"
+		}
+		return fmt.Sprintf("0-%d\n", m.Cores()-1)
+	}, nil); err != nil {
+		return err
+	}
+	for c := 0; c < m.Cores(); c++ {
+		c := c
+		dir := fmt.Sprintf("%s/cpu%d/cpufreq", mount, c)
+		if err := fs.MkdirAll(dir); err != nil {
+			return err
+		}
+		files := map[string]memfs.ReadFunc{
+			"scaling_cur_freq": func() string { return fmt.Sprintf("%d\n", m.FreqKHz(c)) },
+			"scaling_min_freq": func() string { return fmt.Sprintf("%d\n", m.Policy().MinMHz*1000) },
+			"scaling_max_freq": func() string {
+				max := m.Policy().MaxMHz
+				if t := m.Policy().TurboMHz; t > max {
+					max = t
+				}
+				return fmt.Sprintf("%d\n", max*1000)
+			},
+			"scaling_governor": func() string { return m.Governor() + "\n" },
+		}
+		for name, read := range files {
+			if err := fs.AddDynamic(dir+"/"+name, read, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CurFreqPath returns the scaling_cur_freq path of core c under mount.
+func CurFreqPath(mount string, c int) string {
+	return fmt.Sprintf("%s/cpu%d/cpufreq/scaling_cur_freq", mount, c)
+}
+
+// ParseKHz parses a cpufreq value file into kHz.
+func ParseKHz(content string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(content), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("sysfs: bad frequency %q", content)
+	}
+	return v, nil
+}
+
+// ParseOnline parses an "online" range file ("0-63" or "0") into a count.
+func ParseOnline(content string) (int, error) {
+	s := strings.TrimSpace(content)
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		hi, err := strconv.Atoi(s[i+1:])
+		if err != nil {
+			return 0, fmt.Errorf("sysfs: bad online range %q", content)
+		}
+		return hi + 1, nil
+	}
+	if _, err := strconv.Atoi(s); err != nil {
+		return 0, fmt.Errorf("sysfs: bad online file %q", content)
+	}
+	return 1, nil
+}

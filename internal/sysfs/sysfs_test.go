@@ -1,0 +1,98 @@
+package sysfs
+
+import (
+	"testing"
+
+	"vfreq/internal/dvfs"
+	"vfreq/internal/memfs"
+)
+
+func model(t *testing.T, cores int) *dvfs.Model {
+	t.Helper()
+	m, err := dvfs.New(cores, dvfs.GovernorSchedutil,
+		dvfs.Policy{MinMHz: 1200, MaxMHz: 2400, TurboMHz: 3100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMountAndRead(t *testing.T) {
+	fs := memfs.New()
+	m := model(t, 4)
+	if err := MountModel(fs, m, Mount); err != nil {
+		t.Fatal(err)
+	}
+	content, err := fs.ReadFile(CurFreqPath(Mount, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	khz, err := ParseKHz(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if khz != 1_200_000 {
+		t.Fatalf("idle freq = %d kHz, want 1200000", khz)
+	}
+	m.Update([]float64{1, 1, 1, 1})
+	content, _ = fs.ReadFile(CurFreqPath(Mount, 2))
+	khz, _ = ParseKHz(content)
+	if khz != 2_400_000 {
+		t.Fatalf("loaded freq = %d kHz, want 2400000", khz)
+	}
+}
+
+func TestStaticFiles(t *testing.T) {
+	fs := memfs.New()
+	if err := MountModel(fs, model(t, 2), Mount); err != nil {
+		t.Fatal(err)
+	}
+	gov, _ := fs.ReadFile(Mount + "/cpu1/cpufreq/scaling_governor")
+	if gov != "schedutil\n" {
+		t.Fatalf("governor = %q", gov)
+	}
+	max, _ := fs.ReadFile(Mount + "/cpu0/cpufreq/scaling_max_freq")
+	if k, _ := ParseKHz(max); k != 3_100_000 {
+		t.Fatalf("scaling_max_freq = %q, want turbo 3100000", max)
+	}
+	min, _ := fs.ReadFile(Mount + "/cpu0/cpufreq/scaling_min_freq")
+	if k, _ := ParseKHz(min); k != 1_200_000 {
+		t.Fatalf("scaling_min_freq = %q", min)
+	}
+}
+
+func TestOnlineFile(t *testing.T) {
+	fs := memfs.New()
+	if err := MountModel(fs, model(t, 64), Mount); err != nil {
+		t.Fatal(err)
+	}
+	content, _ := fs.ReadFile(Mount + "/online")
+	n, err := ParseOnline(content)
+	if err != nil || n != 64 {
+		t.Fatalf("online = %d, %v; want 64", n, err)
+	}
+	fs1 := memfs.New()
+	if err := MountModel(fs1, model(t, 1), Mount); err != nil {
+		t.Fatal(err)
+	}
+	content, _ = fs1.ReadFile(Mount + "/online")
+	n, err = ParseOnline(content)
+	if err != nil || n != 1 {
+		t.Fatalf("single-core online = %d, %v; want 1", n, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseKHz("fast"); err == nil {
+		t.Fatal("ParseKHz accepted garbage")
+	}
+	if _, err := ParseKHz("-3"); err == nil {
+		t.Fatal("ParseKHz accepted negative")
+	}
+	if _, err := ParseOnline("a-b"); err == nil {
+		t.Fatal("ParseOnline accepted garbage range")
+	}
+	if _, err := ParseOnline("x"); err == nil {
+		t.Fatal("ParseOnline accepted garbage")
+	}
+}

@@ -1,0 +1,302 @@
+// Package trace records time series during experiments and renders them
+// as CSV tables or ASCII charts, regenerating the paper's figures in a
+// terminal-friendly form.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a named sequence of (time, value) points.
+type Series struct {
+	Name   string
+	Times  []float64 // seconds
+	Values []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Mean returns the average value (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// MeanRange averages values with Times in [from, to).
+func (s *Series) MeanRange(from, to float64) float64 {
+	var sum float64
+	n := 0
+	for i, t := range s.Times {
+		if t >= from && t < to {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MedianRange returns the median of values with Times in [from, to) — a
+// robust plateau estimator, insensitive to the periodic synchronisation
+// notches of the benchmark workloads.
+func (s *Series) MedianRange(from, to float64) float64 {
+	var vals []float64
+	for i, t := range s.Times {
+		if t >= from && t < to {
+			vals = append(vals, s.Values[i])
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}
+
+// Variance returns the population variance of the values.
+func (s *Series) Variance() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.Values {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(len(s.Values))
+}
+
+// Max returns the maximum value (0 when empty).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the minimum value (0 when empty).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// PercentileRange returns the p-quantile (0 ≤ p ≤ 1) of values with Times
+// in [from, to), using nearest-rank interpolation.
+func (s *Series) PercentileRange(p, from, to float64) float64 {
+	var vals []float64
+	for i, t := range s.Times {
+		if t >= from && t < to {
+			vals = append(vals, s.Values[i])
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := p * float64(len(vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[lo]
+	}
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// Smooth returns a new series with an exponential moving average of the
+// values (alpha in (0, 1]; 1 = no smoothing).
+func (s *Series) Smooth(alpha float64) *Series {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	out := &Series{Name: s.Name + ":ewma"}
+	var acc float64
+	for i, t := range s.Times {
+		if i == 0 {
+			acc = s.Values[0]
+		} else {
+			acc = acc*(1-alpha) + s.Values[i]*alpha
+		}
+		out.Add(t, acc)
+	}
+	return out
+}
+
+// Recorder collects named series with a shared clock.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: map[string]*Series{}}
+}
+
+// Record appends a point to the named series, creating it on first use.
+func (r *Recorder) Record(name string, t, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Add(t, v)
+}
+
+// Series returns the named series, or nil.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// CSV renders all series as a CSV table aligned on the union of times.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("time")
+	for _, n := range r.order {
+		b.WriteString(",")
+		b.WriteString(n)
+	}
+	b.WriteString("\n")
+	// Union of timestamps.
+	set := map[float64]bool{}
+	for _, n := range r.order {
+		for _, t := range r.series[n].Times {
+			set[t] = true
+		}
+	}
+	times := make([]float64, 0, len(set))
+	for t := range set {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	// Per-series cursor walk.
+	cursors := make(map[string]int, len(r.order))
+	for _, t := range times {
+		fmt.Fprintf(&b, "%g", t)
+		for _, n := range r.order {
+			s := r.series[n]
+			i := cursors[n]
+			if i < len(s.Times) && s.Times[i] == t {
+				fmt.Fprintf(&b, ",%g", s.Values[i])
+				cursors[n] = i + 1
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Chart renders the named series as an ASCII line chart of the given
+// width and height, with a legend. Series are drawn with distinct marks.
+func (r *Recorder) Chart(title string, names []string, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	var sel []*Series
+	for _, n := range names {
+		if s := r.series[n]; s != nil && s.Len() > 0 {
+			sel = append(sel, s)
+		}
+	}
+	if len(sel) == 0 {
+		return title + ": (no data)\n"
+	}
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMin, vMax := 0.0, math.Inf(-1) // y axis anchored at 0
+	for _, s := range sel {
+		for i, t := range s.Times {
+			if t < tMin {
+				tMin = t
+			}
+			if t > tMax {
+				tMax = t
+			}
+			if s.Values[i] > vMax {
+				vMax = s.Values[i]
+			}
+		}
+	}
+	if vMax <= vMin {
+		vMax = vMin + 1
+	}
+	if tMax <= tMin {
+		tMax = tMin + 1
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range sel {
+		mark := marks[si%len(marks)]
+		for i, t := range s.Times {
+			x := int(math.Round((t - tMin) / (tMax - tMin) * float64(width-1)))
+			y := int(math.Round((s.Values[i] - vMin) / (vMax - vMin) * float64(height-1)))
+			row := height - 1 - y
+			if x >= 0 && x < width && row >= 0 && row < height {
+				grid[row][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for y, row := range grid {
+		val := vMax - (vMax-vMin)*float64(y)/float64(height-1)
+		fmt.Fprintf(&b, "%8.0f |%s|\n", val, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*g%*g\n", "", width/2, tMin, width-width/2, tMax)
+	for si, s := range sel {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

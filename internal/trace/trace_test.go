@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i, v := range []float64{2, 4, 6} {
+		s.Add(float64(i), v)
+	}
+	if s.Len() != 3 || s.Mean() != 4 {
+		t.Fatalf("len=%d mean=%v", s.Len(), s.Mean())
+	}
+	if s.Max() != 6 || s.Min() != 2 {
+		t.Fatalf("max=%v min=%v", s.Max(), s.Min())
+	}
+	if v := s.Variance(); math.Abs(v-8.0/3) > 1e-9 {
+		t.Fatalf("variance = %v", v)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := &Series{}
+	if s.Mean() != 0 || s.Variance() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+}
+
+func TestMeanRange(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i)*10)
+	}
+	if got := s.MeanRange(2, 5); got != 30 { // (20+30+40)/3
+		t.Fatalf("MeanRange = %v, want 30", got)
+	}
+	if got := s.MeanRange(100, 200); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	r.Record("b", 0, 2)
+	r.Record("a", 1, 3)
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	if r.Series("a").Len() != 2 || r.Series("b").Len() != 1 {
+		t.Fatal("series lengths wrong")
+	}
+	if r.Series("ghost") != nil {
+		t.Fatal("ghost series exists")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	r.Record("a", 1, 2)
+	r.Record("b", 1, 5)
+	got := r.CSV()
+	want := "time,a,b\n0,1,\n1,2,5\n"
+	if got != want {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 50; i++ {
+		r.Record("small", float64(i), 500)
+		r.Record("large", float64(i), 1800)
+	}
+	out := r.Chart("Fig", []string{"small", "large"}, 40, 8)
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "small") || !strings.Contains(out, "large") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	// Both marks present.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("chart missing series marks:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	r := NewRecorder()
+	if out := r.Chart("Empty", []string{"none"}, 40, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	// A single constant point must not divide by zero.
+	r.Record("p", 5, 0)
+	out := r.Chart("One", []string{"p"}, 10, 3)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single-point chart:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 0, 1)
+	out := r.Chart("T", []string{"a"}, 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("dimensions not clamped")
+	}
+}
+
+func TestPercentileRange(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	if got := s.PercentileRange(0.5, 0, 100); math.Abs(got-49.5) > 1e-9 {
+		t.Fatalf("median = %v, want 49.5", got)
+	}
+	if got := s.PercentileRange(0, 0, 100); got != 0 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.PercentileRange(1, 0, 100); got != 99 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.PercentileRange(0.9, 0, 10); math.Abs(got-8.1) > 1e-9 {
+		t.Fatalf("p90 of [0,10) = %v, want 8.1", got)
+	}
+	if got := s.PercentileRange(0.5, 500, 600); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(0, 0)
+	s.Add(1, 10)
+	s.Add(2, 10)
+	sm := s.Smooth(0.5)
+	if sm.Name != "x:ewma" || sm.Len() != 3 {
+		t.Fatalf("smooth meta wrong: %s %d", sm.Name, sm.Len())
+	}
+	want := []float64{0, 5, 7.5}
+	for i, w := range want {
+		if math.Abs(sm.Values[i]-w) > 1e-9 {
+			t.Fatalf("smooth[%d] = %v, want %v", i, sm.Values[i], w)
+		}
+	}
+	// Invalid alpha degrades to identity.
+	id := s.Smooth(0)
+	for i := range s.Values {
+		if id.Values[i] != s.Values[i] {
+			t.Fatal("alpha 0 should be identity")
+		}
+	}
+}
+
+func TestMedianRange(t *testing.T) {
+	s := &Series{}
+	for i, v := range []float64{500, 2400, 500, 510, 490, 2400, 505} {
+		s.Add(float64(i), v)
+	}
+	// The median shrugs off the two 2400 spikes.
+	if got := s.MedianRange(0, 7); got != 505 {
+		t.Fatalf("median = %v, want 505", got)
+	}
+	if got := s.MedianRange(0, 2); got != 1450 {
+		t.Fatalf("even-count median = %v, want 1450", got)
+	}
+	if got := s.MedianRange(100, 200); got != 0 {
+		t.Fatalf("empty median = %v", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package vm models virtual machines the way KVM/libvirt expose them to a
+// host-side controller: each VM is a cgroup scope under machine.slice with
+// one sub-cgroup per vCPU holding exactly one thread, plus an emulator
+// cgroup for the QEMU housekeeping threads.
+//
+// The paper extends the VM template with a virtual frequency (MHz) chosen
+// by the customer; Template carries it alongside the classic dimensions.
+package vm
+
+import (
+	"fmt"
+
+	"vfreq/internal/host"
+	"vfreq/internal/sched"
+	"vfreq/internal/workload"
+)
+
+// Slice is the parent cgroup of all VM scopes, as created by libvirt.
+const Slice = "machine.slice"
+
+// Template is a VM flavour: the classic capacities plus the paper's
+// virtual frequency F_v.
+type Template struct {
+	Name     string
+	VCPUs    int
+	FreqMHz  int64 // virtual frequency guaranteed to each vCPU
+	MemoryGB int
+}
+
+// Validate checks the template.
+func (t Template) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("vm: template has no name")
+	}
+	if t.VCPUs <= 0 {
+		return fmt.Errorf("vm: template %q has no vCPUs", t.Name)
+	}
+	if t.FreqMHz <= 0 {
+		return fmt.Errorf("vm: template %q has no virtual frequency", t.Name)
+	}
+	if t.MemoryGB <= 0 {
+		return fmt.Errorf("vm: template %q has no memory", t.Name)
+	}
+	return nil
+}
+
+// The paper's three templates (Tables II and V). Memory sizes are not
+// given in the paper; these are typical for the shapes used.
+func Small() Template  { return Template{Name: "small", VCPUs: 2, FreqMHz: 500, MemoryGB: 2} }
+func Medium() Template { return Template{Name: "medium", VCPUs: 4, FreqMHz: 1200, MemoryGB: 4} }
+func Large() Template  { return Template{Name: "large", VCPUs: 4, FreqMHz: 1800, MemoryGB: 8} }
+
+// Instance is a provisioned VM on a machine.
+type Instance struct {
+	name     string
+	template Template
+	machine  *host.Machine
+	scope    string // cgroup path relative to the mount
+	vcpus    []*sched.Thread
+	emulator *sched.Thread
+	sources  []workload.Source
+	cycles   []int64 // attained cycles per vCPU
+}
+
+// ScopePath returns the libvirt-style scope cgroup path for a VM name.
+func ScopePath(name string) string {
+	return Slice + "/machine-qemu-" + name + ".scope"
+}
+
+// VCPUCgroup returns the cgroup path of vCPU j of a VM name.
+func VCPUCgroup(name string, j int) string {
+	return fmt.Sprintf("%s/vcpu%d", ScopePath(name), j)
+}
+
+// Manager provisions and tracks instances on one machine, playing the
+// role libvirt plays on a real host.
+type Manager struct {
+	machine   *host.Machine
+	instances map[string]*Instance
+	order     []string
+}
+
+// NewManager creates a manager and the machine.slice cgroup.
+func NewManager(m *host.Machine) (*Manager, error) {
+	if _, err := m.Cgroups.CreateGroupAll(Slice); err != nil {
+		return nil, err
+	}
+	return &Manager{machine: m, instances: map[string]*Instance{}}, nil
+}
+
+// Machine returns the managed machine.
+func (mg *Manager) Machine() *host.Machine { return mg.machine }
+
+// Provision creates a VM instance named name from tpl. srcs supplies the
+// per-vCPU workloads; it may be nil (all idle) or have exactly VCPUs
+// entries.
+func (mg *Manager) Provision(name string, tpl Template, srcs []workload.Source) (*Instance, error) {
+	if err := tpl.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := mg.instances[name]; ok {
+		return nil, fmt.Errorf("vm: instance %q already exists", name)
+	}
+	if srcs == nil {
+		srcs = make([]workload.Source, tpl.VCPUs)
+		for i := range srcs {
+			srcs[i] = workload.Idle()
+		}
+	}
+	if len(srcs) != tpl.VCPUs {
+		return nil, fmt.Errorf("vm: %d workload sources for %d vCPUs", len(srcs), tpl.VCPUs)
+	}
+	if tpl.FreqMHz > mg.machine.Spec().MaxMHz {
+		return nil, fmt.Errorf("vm: template frequency %d MHz exceeds node F_MAX %d MHz",
+			tpl.FreqMHz, mg.machine.Spec().MaxMHz)
+	}
+	inst := &Instance{
+		name:     name,
+		template: tpl,
+		machine:  mg.machine,
+		scope:    ScopePath(name),
+		sources:  srcs,
+		cycles:   make([]int64, tpl.VCPUs),
+	}
+	if _, err := mg.machine.Cgroups.CreateGroupAll(inst.scope); err != nil {
+		return nil, err
+	}
+	for j := 0; j < tpl.VCPUs; j++ {
+		rel := VCPUCgroup(name, j)
+		if _, err := mg.machine.Cgroups.CreateGroup(rel); err != nil {
+			return nil, err
+		}
+		src := srcs[j]
+		th, err := mg.machine.StartThread(rel, fmt.Sprintf("CPU %d/KVM", j), src.Demand)
+		if err != nil {
+			return nil, err
+		}
+		j := j
+		th.OnRun = func(nowUs, ranUs, freqMHz int64) {
+			inst.cycles[j] += ranUs * freqMHz
+			src.Account(nowUs, ranUs, freqMHz)
+		}
+		inst.vcpus = append(inst.vcpus, th)
+	}
+	emRel := inst.scope + "/emulator"
+	if _, err := mg.machine.Cgroups.CreateGroup(emRel); err != nil {
+		return nil, err
+	}
+	em, err := mg.machine.StartThread(emRel, "qemu-system-x86", func(nowUs, dtUs int64) float64 { return 0.005 })
+	if err != nil {
+		return nil, err
+	}
+	inst.emulator = em
+	mg.instances[name] = inst
+	mg.order = append(mg.order, name)
+	return inst, nil
+}
+
+// Destroy removes an instance, its threads and its cgroups.
+func (mg *Manager) Destroy(name string) error {
+	inst, ok := mg.instances[name]
+	if !ok {
+		return fmt.Errorf("vm: no instance %q", name)
+	}
+	for _, th := range inst.vcpus {
+		if err := mg.machine.Procs.Unregister(th.ID); err != nil {
+			return err
+		}
+	}
+	if err := mg.machine.Procs.Unregister(inst.emulator.ID); err != nil {
+		return err
+	}
+	// Removing the scope cgroup detaches all threads at once.
+	if err := mg.machine.Cgroups.RemoveGroup(inst.scope); err != nil {
+		return err
+	}
+	delete(mg.instances, name)
+	for i, n := range mg.order {
+		if n == name {
+			mg.order = append(mg.order[:i], mg.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns the instance with the given name, or nil.
+func (mg *Manager) Get(name string) *Instance { return mg.instances[name] }
+
+// List returns all instances in provisioning order.
+func (mg *Manager) List() []*Instance {
+	out := make([]*Instance, 0, len(mg.order))
+	for _, n := range mg.order {
+		out = append(out, mg.instances[n])
+	}
+	return out
+}
+
+// Name returns the instance name.
+func (i *Instance) Name() string { return i.name }
+
+// Template returns the instance's template.
+func (i *Instance) Template() Template { return i.template }
+
+// Scope returns the instance's cgroup scope path.
+func (i *Instance) Scope() string { return i.scope }
+
+// VCPUThread returns the scheduler thread of vCPU j.
+func (i *Instance) VCPUThread(j int) *sched.Thread { return i.vcpus[j] }
+
+// VCPUCycles returns the cumulative cycles attained by vCPU j — the
+// ground-truth virtual work, used to validate the controller's estimates.
+func (i *Instance) VCPUCycles(j int) int64 { return i.cycles[j] }
+
+// MeanVCPUFreqMHz returns the instance's average virtual frequency over a
+// window: (cycles now − cyclesBefore) / windowUs, averaged over vCPUs.
+func (i *Instance) MeanVCPUFreqMHz(cyclesBefore []int64, windowUs int64) float64 {
+	if windowUs <= 0 || len(cyclesBefore) != len(i.cycles) {
+		return 0
+	}
+	var sum float64
+	for j := range i.cycles {
+		sum += float64(i.cycles[j]-cyclesBefore[j]) / float64(windowUs)
+	}
+	return sum / float64(len(i.cycles))
+}
+
+// SnapshotCycles copies the current per-vCPU cycle counters.
+func (i *Instance) SnapshotCycles() []int64 {
+	out := make([]int64, len(i.cycles))
+	copy(out, i.cycles)
+	return out
+}
+
+// GuaranteedCyclesUs returns C_i of Eq. 2: the number of cycles (µs of
+// CPU time) per control period p that realise the template frequency on
+// this machine.
+func (i *Instance) GuaranteedCyclesUs(periodUs int64) int64 {
+	return periodUs * i.template.FreqMHz / i.machine.Spec().MaxMHz
+}

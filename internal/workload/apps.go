@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WebServer models an interactive service: requests arrive as a Poisson
+// process and each consumes a fixed number of cycles; the thread's demand
+// in a tick is the backlog it could serve. The generator is seeded and
+// fully deterministic for reproducible experiments.
+type WebServer struct {
+	// RatePerSec is the mean request arrival rate.
+	RatePerSec float64
+	// CyclesPerReq is the work per request.
+	CyclesPerReq int64
+	// Seed makes the arrival process reproducible.
+	Seed int64
+
+	rng        *rand.Rand
+	lastUs     int64
+	backlog    int64 // cycles waiting to be served
+	CyclesDone int64
+	// ServedReqs counts fully processed requests.
+	ServedReqs int64
+}
+
+// Demand implements Source: the fraction of the next tick needed to drain
+// the backlog at the machine's nominal speed (saturating at 1).
+func (w *WebServer) Demand(nowUs, dtUs int64) float64 {
+	if w.rng == nil {
+		w.rng = rand.New(rand.NewSource(w.Seed))
+		w.lastUs = nowUs
+	}
+	// Draw arrivals for the elapsed interval (Poisson via thinning of
+	// small steps is overkill; the tick counts are small enough for a
+	// direct draw per tick using the Knuth method).
+	elapsed := nowUs - w.lastUs
+	if elapsed > 0 {
+		w.lastUs = nowUs
+		mean := w.RatePerSec * float64(elapsed) / 1e6
+		w.backlog += int64(poisson(w.rng, mean)) * w.CyclesPerReq
+	}
+	if w.backlog <= 0 {
+		return 0
+	}
+	// Serving the backlog needs backlog/freq µs; express as a fraction
+	// of dt assuming a nominal 2000 MHz so bursts saturate quickly.
+	need := float64(w.backlog) / 2000 / float64(dtUs)
+	if need > 1 {
+		return 1
+	}
+	return need
+}
+
+// Account implements Source.
+func (w *WebServer) Account(nowUs, ranUs, freqMHz int64) {
+	done := ranUs * freqMHz
+	w.CyclesDone += done
+	w.backlog -= done
+	if w.backlog < 0 {
+		w.backlog = 0
+	}
+	if w.CyclesPerReq > 0 {
+		w.ServedReqs = w.CyclesDone / w.CyclesPerReq
+	}
+}
+
+// BacklogCycles returns the queued work.
+func (w *WebServer) BacklogCycles() int64 { return w.backlog }
+
+// poisson draws a Poisson variate with the given mean (Knuth's method;
+// means here are small, one tick's worth of arrivals).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := 1.0
+	for k := 0; ; k++ {
+		l *= rng.Float64()
+		if l < math.Exp(-mean) {
+			return k
+		}
+		if k > 10_000 {
+			return k // guard against pathological means
+		}
+	}
+}
+
+// MapReduce models a two-phase batch job across a VM's worker threads:
+// every thread performs map work, then a synchronisation (shuffle) pause,
+// then a subset of the threads performs reduce work. The structure
+// stresses the controller with a mid-job parallelism drop.
+type MapReduce struct {
+	threads      int
+	mapCycles    int64
+	reduceCycles int64
+	reducers     int
+	shuffleUs    int64
+	startUs      int64
+
+	started      bool
+	mapLeft      []int64
+	reduceLeft   []int64
+	shuffleUntil int64
+	phase        int // 0 = map, 1 = shuffle, 2 = reduce, 3 = done
+	doneAtUs     int64
+}
+
+// NewMapReduce builds a job: threads map workers with mapCycles each;
+// reducers of them then run reduceCycles each after a shuffle pause.
+func NewMapReduce(threads int, mapCycles int64, reducers int, reduceCycles, shuffleUs, startUs int64) (*MapReduce, error) {
+	if threads <= 0 || reducers <= 0 || reducers > threads {
+		return nil, errInvalid("mapreduce thread/reducer counts")
+	}
+	if mapCycles <= 0 || reduceCycles <= 0 || shuffleUs < 0 || startUs < 0 {
+		return nil, errInvalid("mapreduce work sizing")
+	}
+	return &MapReduce{
+		threads:      threads,
+		mapCycles:    mapCycles,
+		reduceCycles: reduceCycles,
+		reducers:     reducers,
+		shuffleUs:    shuffleUs,
+		startUs:      startUs,
+		mapLeft:      make([]int64, threads),
+		reduceLeft:   make([]int64, threads),
+	}, nil
+}
+
+type errInvalid string
+
+func (e errInvalid) Error() string { return "workload: invalid " + string(e) }
+
+// Phase returns the current phase: 0 map, 1 shuffle, 2 reduce, 3 done.
+func (m *MapReduce) Phase() int { return m.phase }
+
+// Done reports job completion.
+func (m *MapReduce) Done() bool { return m.phase == 3 }
+
+// DoneAtUs returns the completion time (0 if not done).
+func (m *MapReduce) DoneAtUs() int64 { return m.doneAtUs }
+
+// Sources returns one Source per worker thread.
+func (m *MapReduce) Sources() []Source {
+	out := make([]Source, m.threads)
+	for i := range out {
+		out[i] = &mrThread{m: m, idx: i}
+	}
+	return out
+}
+
+type mrThread struct {
+	m   *MapReduce
+	idx int
+}
+
+func (t *mrThread) Demand(nowUs, dtUs int64) float64 {
+	m := t.m
+	if nowUs < m.startUs || m.Done() {
+		return 0
+	}
+	if !m.started {
+		m.started = true
+		for i := range m.mapLeft {
+			m.mapLeft[i] = m.mapCycles
+		}
+	}
+	switch m.phase {
+	case 0:
+		if m.mapLeft[t.idx] > 0 {
+			return 1
+		}
+		return 0.02 // barrier wait
+	case 1:
+		if nowUs >= m.shuffleUntil {
+			m.phase = 2
+			for i := 0; i < m.reducers; i++ {
+				m.reduceLeft[i] = m.reduceCycles
+			}
+			if t.idx < m.reducers {
+				return 1
+			}
+		}
+		return 0.02
+	case 2:
+		if t.idx < m.reducers && m.reduceLeft[t.idx] > 0 {
+			return 1
+		}
+		return 0.01
+	}
+	return 0
+}
+
+func (t *mrThread) Account(nowUs, ranUs, freqMHz int64) {
+	m := t.m
+	if !m.started || m.Done() {
+		return
+	}
+	work := ranUs * freqMHz
+	switch m.phase {
+	case 0:
+		if m.mapLeft[t.idx] <= 0 {
+			return
+		}
+		m.mapLeft[t.idx] -= work
+		if m.mapLeft[t.idx] > 0 {
+			return
+		}
+		for _, left := range m.mapLeft {
+			if left > 0 {
+				return
+			}
+		}
+		m.phase = 1
+		m.shuffleUntil = nowUs + ranUs + m.shuffleUs
+	case 2:
+		if t.idx >= m.reducers || m.reduceLeft[t.idx] <= 0 {
+			return
+		}
+		m.reduceLeft[t.idx] -= work
+		if m.reduceLeft[t.idx] > 0 {
+			return
+		}
+		for i := 0; i < m.reducers; i++ {
+			if m.reduceLeft[i] > 0 {
+				return
+			}
+		}
+		m.phase = 3
+		m.doneAtUs = nowUs + ranUs
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWebServerDeterministic(t *testing.T) {
+	run := func() int64 {
+		w := &WebServer{RatePerSec: 100, CyclesPerReq: 1_000_000, Seed: 42}
+		now := int64(0)
+		for i := 0; i < 1000; i++ {
+			d := w.Demand(now, 10_000)
+			if d > 0 {
+				w.Account(now, int64(d*10_000), 2000)
+			}
+			now += 10_000
+		}
+		return w.CyclesDone
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no work done")
+	}
+}
+
+func TestWebServerThroughputMatchesRate(t *testing.T) {
+	// 100 req/s × 1 Mcycles at plentiful CPU: after 10 s the served
+	// count approaches 100/s.
+	w := &WebServer{RatePerSec: 100, CyclesPerReq: 1_000_000, Seed: 7}
+	now := int64(0)
+	for i := 0; i < 1000; i++ { // 10 s of 10 ms ticks
+		d := w.Demand(now, 10_000)
+		w.Account(now, int64(d*10_000), 2400)
+		now += 10_000
+	}
+	perSec := float64(w.ServedReqs) / 10
+	if perSec < 80 || perSec > 120 {
+		t.Fatalf("served %.1f req/s, want ≈100", perSec)
+	}
+	if w.BacklogCycles() > 10_000_000 {
+		t.Fatalf("backlog grew: %d", w.BacklogCycles())
+	}
+}
+
+func TestWebServerIdleWithoutArrivals(t *testing.T) {
+	w := &WebServer{RatePerSec: 0, CyclesPerReq: 1000, Seed: 1}
+	for now := int64(0); now < 1_000_000; now += 10_000 {
+		if d := w.Demand(now, 10_000); d != 0 {
+			t.Fatalf("demand %v with no arrivals", d)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	w := &WebServer{Seed: 3}
+	_ = w
+	rng := newTestRand(3)
+	const mean = 2.5
+	var sum int
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Fatalf("poisson mean = %.3f, want %.1f", got, mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive mean should yield 0")
+	}
+}
+
+func TestMapReduceValidation(t *testing.T) {
+	cases := []struct{ threads, reducers int }{{0, 1}, {4, 0}, {2, 3}}
+	for _, c := range cases {
+		if _, err := NewMapReduce(c.threads, 100, c.reducers, 100, 0, 0); err == nil {
+			t.Fatalf("threads=%d reducers=%d accepted", c.threads, c.reducers)
+		}
+	}
+	if _, err := NewMapReduce(4, 0, 2, 100, 0, 0); err == nil {
+		t.Fatal("zero map work accepted")
+	}
+	if _, err := NewMapReduce(4, 100, 2, 100, -1, 0); err == nil {
+		t.Fatal("negative shuffle accepted")
+	}
+}
+
+// Drive a MapReduce by hand through all phases.
+func TestMapReducePhases(t *testing.T) {
+	mr, err := NewMapReduce(4, 1000, 2, 2000, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := mr.Sources()
+	now := int64(0)
+	step := func() {
+		for _, s := range srcs {
+			if s.Demand(now, 1) == 1 {
+				s.Account(now, 1, 1000) // 1000 cycles per µs
+			}
+		}
+		now++
+	}
+	if mr.Phase() != 0 {
+		t.Fatalf("phase = %d, want map", mr.Phase())
+	}
+	step() // each thread does 1000 cycles → map complete
+	if mr.Phase() != 1 {
+		t.Fatalf("after map: phase = %d, want shuffle", mr.Phase())
+	}
+	// During shuffle, demand is tiny.
+	if d := srcs[0].Demand(now, 1); d >= 0.1 {
+		t.Fatalf("shuffle demand = %v", d)
+	}
+	now += 60 // past shuffleUntil
+	step()    // transition + first reduce work
+	if mr.Phase() != 2 {
+		t.Fatalf("after shuffle: phase = %d, want reduce", mr.Phase())
+	}
+	// Only reducers demand CPU.
+	if d := srcs[3].Demand(now, 1); d >= 0.1 {
+		t.Fatalf("non-reducer demand = %v", d)
+	}
+	if d := srcs[0].Demand(now, 1); d != 1 {
+		t.Fatalf("reducer demand = %v", d)
+	}
+	for i := 0; i < 10 && !mr.Done(); i++ {
+		step()
+	}
+	if !mr.Done() {
+		t.Fatal("job never completed")
+	}
+	if mr.DoneAtUs() == 0 {
+		t.Fatal("completion time not recorded")
+	}
+}
+
+func TestMapReduceStartDelay(t *testing.T) {
+	mr, _ := NewMapReduce(2, 100, 1, 100, 0, 1_000)
+	src := mr.Sources()[0]
+	if d := src.Demand(500, 1); d != 0 {
+		t.Fatalf("demand before start = %v", d)
+	}
+	if d := src.Demand(1_000, 1); d != 1 {
+		t.Fatalf("demand at start = %v", d)
+	}
+}
+
+// newTestRand is a tiny indirection so the Poisson test does not need the
+// WebServer wrapper.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	c := &Constant{Level: 0.4}
+	if d := c.Demand(0, 10_000); d != 0.4 {
+		t.Fatalf("demand = %v", d)
+	}
+	c.Account(0, 1000, 2400)
+	if c.CyclesDone != 2_400_000 {
+		t.Fatalf("cycles = %d, want 2400000", c.CyclesDone)
+	}
+	if Idle().Demand(0, 1) != 0 || Busy().Demand(0, 1) != 1 {
+		t.Fatal("Idle/Busy levels wrong")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := &Ramp{From: 0, To: 1, StartUs: 100, DurUs: 100}
+	if d := r.Demand(0, 1); d != 0 {
+		t.Fatalf("before start: %v", d)
+	}
+	if d := r.Demand(150, 1); math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("midpoint: %v", d)
+	}
+	if d := r.Demand(1000, 1); d != 1 {
+		t.Fatalf("after end: %v", d)
+	}
+}
+
+func TestBursty(t *testing.T) {
+	b := &Bursty{PeriodUs: 100, Duty: 0.3, High: 1, Low: 0.1}
+	if d := b.Demand(10, 1); d != 1 {
+		t.Fatalf("in burst: %v", d)
+	}
+	if d := b.Demand(50, 1); d != 0.1 {
+		t.Fatalf("off burst: %v", d)
+	}
+	if d := b.Demand(110, 1); d != 1 {
+		t.Fatalf("second period: %v", d)
+	}
+	zero := &Bursty{Low: 0.2}
+	if d := zero.Demand(5, 1); d != 0.2 {
+		t.Fatalf("zero period: %v", d)
+	}
+}
+
+func TestSineBounds(t *testing.T) {
+	s := &Sine{PeriodUs: 1000, Min: 0.2, Max: 0.8}
+	for now := int64(0); now < 3000; now += 37 {
+		d := s.Demand(now, 1)
+		if d < 0.2-1e-9 || d > 0.8+1e-9 {
+			t.Fatalf("sine out of bounds at %d: %v", now, d)
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := &Trace{Samples: []float64{0.1, 0.9, 0.5}, StepUs: 100}
+	cases := map[int64]float64{0: 0.1, 99: 0.1, 100: 0.9, 250: 0.5, 10_000: 0.5}
+	for now, want := range cases {
+		if d := tr.Demand(now, 1); d != want {
+			t.Fatalf("trace at %d = %v, want %v", now, d, want)
+		}
+	}
+	empty := &Trace{}
+	if empty.Demand(0, 1) != 0 {
+		t.Fatal("empty trace demanded CPU")
+	}
+}
+
+func TestDelayed(t *testing.T) {
+	d := &Delayed{StartUs: 500, Inner: Busy()}
+	if d.Demand(499, 1) != 0 {
+		t.Fatal("ran before start")
+	}
+	if d.Demand(500, 1) != 1 {
+		t.Fatal("did not run at start")
+	}
+	inner := &Constant{Level: 1}
+	dd := &Delayed{StartUs: 100, Inner: inner}
+	dd.Account(50, 10, 1000) // before start: dropped
+	if inner.CyclesDone != 0 {
+		t.Fatal("accounted before start")
+	}
+	dd.Account(150, 10, 1000)
+	if inner.CyclesDone != 10_000 {
+		t.Fatalf("cycles = %d", inner.CyclesDone)
+	}
+}
+
+func TestBenchValidation(t *testing.T) {
+	if _, err := NewCompress7zip(0, 100, 1, 0); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := NewCompress7zip(1, 0, 1, 0); err == nil {
+		t.Fatal("zero work accepted")
+	}
+	if _, err := NewCompress7zip(1, 10, 0, 0); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if _, err := NewOpenSSL(1, 10, 1, -5); err == nil {
+		t.Fatal("negative start accepted")
+	}
+}
+
+// Drive a bench by hand: a single thread doing 1000-cycle runs at a fixed
+// 1000 MHz, 1 µs of CPU per step.
+func TestBenchRunsAndScores(t *testing.T) {
+	b, err := NewOpenSSL(1, 1000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := b.Thread(0)
+	now := int64(0)
+	steps := 0
+	for !b.Done() && steps < 10_000 {
+		if d := src.Demand(now, 1); d == 1 {
+			src.Account(now, 1, 1000) // 1 µs at 1000 MHz = 1000 cycles
+		}
+		now++
+		steps++
+	}
+	if !b.Done() {
+		t.Fatal("bench never finished")
+	}
+	res := b.Results()
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for i, r := range res {
+		if r.Run != i {
+			t.Fatalf("run index %d, want %d", r.Run, i)
+		}
+		if r.DurationUs() != 1 {
+			t.Fatalf("run %d duration = %d µs, want 1", i, r.DurationUs())
+		}
+		if r.RateMHz() != 1000 {
+			t.Fatalf("run %d rate = %v, want 1000", i, r.RateMHz())
+		}
+	}
+	if b.MeanRateMHz() != 1000 {
+		t.Fatalf("mean rate = %v", b.MeanRateMHz())
+	}
+}
+
+func TestBenchBarrier(t *testing.T) {
+	b, err := NewOpenSSL(2, 1000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := b.Thread(0), b.Thread(1)
+	now := int64(0)
+	// Fast thread finishes its work immediately.
+	if fast.Demand(now, 1) != 1 {
+		t.Fatal("fast thread idle")
+	}
+	fast.Account(now, 1, 1000)
+	if b.Done() {
+		t.Fatal("bench done before slow thread finished")
+	}
+	// Finished thread waits at the barrier with tiny demand.
+	if d := fast.Demand(now+1, 1); d >= 0.1 {
+		t.Fatalf("barrier demand = %v, want small", d)
+	}
+	// Slow thread takes two steps.
+	slow.Account(now+1, 1, 500)
+	if b.Done() {
+		t.Fatal("premature completion")
+	}
+	slow.Account(now+2, 1, 500)
+	if !b.Done() {
+		t.Fatal("bench not done after all work")
+	}
+	if got := b.Results()[0].DurationUs(); got != 3 {
+		t.Fatalf("run duration = %d, want 3", got)
+	}
+}
+
+func TestBenchDip(t *testing.T) {
+	b, err := newBench("x", 1, 100, 2, 0, 50) // 50 µs dip
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := b.Thread(0)
+	src.Demand(0, 1)
+	src.Account(0, 1, 100) // run 0 done at t=1
+	// During the dip, demand is small and work is not accounted.
+	if d := src.Demand(10, 1); d >= 0.1 {
+		t.Fatalf("dip demand = %v", d)
+	}
+	src.Account(10, 1, 100)
+	if b.Done() {
+		t.Fatal("work accounted during dip")
+	}
+	// After the dip the second run starts.
+	if d := src.Demand(60, 1); d != 1 {
+		t.Fatalf("post-dip demand = %v", d)
+	}
+	src.Account(60, 1, 100)
+	if !b.Done() {
+		t.Fatal("run 2 incomplete")
+	}
+	r := b.Results()[1]
+	if r.StartUs != 51 {
+		t.Fatalf("run 2 start = %d, want 51 (end of dip)", r.StartUs)
+	}
+}
+
+func TestBenchStartDelay(t *testing.T) {
+	b, _ := NewOpenSSL(1, 100, 1, 1_000)
+	src := b.Thread(0)
+	if src.Demand(500, 1) != 0 {
+		t.Fatal("demanded CPU before start")
+	}
+	if src.Demand(1_000, 1) != 1 {
+		t.Fatal("idle at start time")
+	}
+}
+
+func TestThreadIndexPanics(t *testing.T) {
+	b, _ := NewOpenSSL(1, 100, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Thread did not panic")
+		}
+	}()
+	b.Thread(5)
+}
+
+func TestSourcesCount(t *testing.T) {
+	b, _ := NewCompress7zip(4, 100, 1, 0)
+	if got := len(b.Sources()); got != 4 {
+		t.Fatalf("Sources len = %d", got)
+	}
+	if b.Threads() != 4 || b.Name() != "compress-7zip" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// Property: a bench driven to completion always yields exactly `runs`
+// results with positive durations and monotone non-overlapping intervals.
+func TestQuickBenchCompletion(t *testing.T) {
+	f := func(threads8, runs8 uint8, work16 uint16) bool {
+		threads := int(threads8%4) + 1
+		runs := int(runs8%5) + 1
+		work := int64(work16%5000) + 1
+		b, err := newBench("q", threads, work, runs, 0, 10)
+		if err != nil {
+			return false
+		}
+		srcs := b.Sources()
+		now := int64(0)
+		for !b.Done() && now < 1_000_000 {
+			for _, s := range srcs {
+				if s.Demand(now, 2) == 1 {
+					s.Account(now, 2, 1500)
+				}
+			}
+			now += 2
+		}
+		if !b.Done() {
+			return false
+		}
+		res := b.Results()
+		if len(res) != runs {
+			return false
+		}
+		prevEnd := int64(-1)
+		for _, r := range res {
+			if r.DurationUs() <= 0 || r.StartUs <= prevEnd {
+				return false
+			}
+			prevEnd = r.EndUs
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

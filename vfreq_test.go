@@ -1,0 +1,149 @@
+package vfreq_test
+
+import (
+	"testing"
+
+	"vfreq"
+)
+
+// The README quick-start, verified: two VMs on a contended node converge
+// to at least their template frequencies through the public API alone.
+func TestQuickstartFlow(t *testing.T) {
+	spec := vfreq.Chetemi()
+	spec.Cores = 4
+	machine, err := vfreq.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := vfreq.NewManager(machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := func(n int) []vfreq.Workload {
+		out := make([]vfreq.Workload, n)
+		for i := range out {
+			out[i] = vfreq.Busy()
+		}
+		return out
+	}
+	web, err := mgr.Provision("web", vfreq.Small(), busy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := mgr.Provision("batch", vfreq.Large(), busy(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := vfreq.NewController(vfreq.NewSimHost(mgr), vfreq.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := ctrl.Config().PeriodUs
+	for sec := 0; sec < 15; sec++ {
+		machine.Advance(period)
+		if err := ctrl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	webSnap, batchSnap := web.SnapshotCycles(), batch.SnapshotCycles()
+	for sec := 0; sec < 5; sec++ {
+		machine.Advance(period)
+		if err := ctrl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := web.MeanVCPUFreqMHz(webSnap, 5*period); f < 480 {
+		t.Fatalf("web at %.0f MHz, below 500 guarantee", f)
+	}
+	if f := batch.MeanVCPUFreqMHz(batchSnap, 5*period); f < 1750 {
+		t.Fatalf("batch at %.0f MHz, below 1800 guarantee", f)
+	}
+}
+
+func TestTemplatePresets(t *testing.T) {
+	if vfreq.Small().FreqMHz != 500 || vfreq.Medium().FreqMHz != 1200 || vfreq.Large().FreqMHz != 1800 {
+		t.Fatal("template presets wrong")
+	}
+	if vfreq.Chetemi().Cores != 40 || vfreq.Chiclet().Cores != 64 {
+		t.Fatal("node presets wrong")
+	}
+}
+
+func TestBenchFactories(t *testing.T) {
+	b, err := vfreq.NewCompress7zip(2, 1_000_000, 3, 0)
+	if err != nil || b.Threads() != 2 {
+		t.Fatalf("compress: %v, %v", b, err)
+	}
+	o, err := vfreq.NewOpenSSL(1, 1_000_000, 1, 0)
+	if err != nil || o.Name() != "openssl" {
+		t.Fatalf("openssl: %v, %v", o, err)
+	}
+	if vfreq.IdleWorkload().Demand(0, 1) != 0 {
+		t.Fatal("idle workload demands CPU")
+	}
+}
+
+func TestPlacementFacade(t *testing.T) {
+	nodes := []vfreq.PlacementNode{{
+		Name: "n", Cores: 4, MaxFreqMHz: 2400, MemoryGB: 32,
+		IdleWatts: 100, MaxWatts: 200,
+	}}
+	vms := []vfreq.PlacementVM{
+		{Name: "a", Template: "small", VCPUs: 2, FreqMHz: 500, MemoryGB: 2},
+		{Name: "b", Template: "large", VCPUs: 4, FreqMHz: 1800, MemoryGB: 8},
+	}
+	res, err := vfreq.Place(vfreq.BestFit, nodes, vms,
+		vfreq.PlacementPolicy{Mode: vfreq.VirtualFrequency, Factor: 1, Memory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2×500 + 4×1800 = 8200 ≤ 9600: both fit.
+	if res.UsedNodes() != 1 || len(res.Unplaced) != 0 {
+		t.Fatalf("placement unexpected: used=%d unplaced=%d", res.UsedNodes(), len(res.Unplaced))
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	e := vfreq.ScaleExperiment(vfreq.Fig7(), 0.02)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rec.Series("small") == nil || res.Rec.Series("large") == nil {
+		t.Fatal("missing series")
+	}
+	rows, err := vfreq.RunPlacementComparison()
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("placement comparison: %d rows, %v", len(rows), err)
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	spec := vfreq.Chetemi()
+	spec.Cores = 8
+	cl, err := vfreq.NewCluster([]vfreq.MachineSpec{spec, spec}, vfreq.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Deploy("a", vfreq.Small(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.UsedNodes() != 1 {
+		t.Fatalf("UsedNodes = %d", cl.UsedNodes())
+	}
+}
+
+func TestLinuxHostUnavailableHere(t *testing.T) {
+	// On hosts without libvirt/cgroup-v2 machine.slice the constructor
+	// fails cleanly; where it exists, it must report sane node info.
+	h, err := vfreq.NewLinuxHost(map[string]int64{"vm": 1000})
+	if err != nil {
+		t.Skipf("linux host unavailable (expected off real hypervisors): %v", err)
+	}
+	if h.Node().Cores <= 0 {
+		t.Fatal("bad node info")
+	}
+}
