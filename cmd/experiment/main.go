@@ -318,6 +318,10 @@ func dynamicTable() error {
 		fmt.Printf("  %-28s %-9d %-9d %-10.2f %-12.1f %-12.1f\n",
 			c.label, res.Deployed, res.Rejected, res.MeanUsedNodes,
 			res.ActiveEnergyJ/1000, res.AlwaysOnEnergyJ/1000)
+		if res.Faults > 0 || res.DegradedVCPUSteps > 0 {
+			fmt.Printf("    degradation: %d faults, %d degraded vCPU-steps\n",
+				res.Faults, res.DegradedVCPUSteps)
+		}
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"vfreq/internal/core"
 	"vfreq/internal/host"
 	"vfreq/internal/platform"
+	"vfreq/internal/trace"
 	"vfreq/internal/vm"
 	"vfreq/internal/workload"
 )
@@ -48,6 +49,18 @@ type Scenario struct {
 	IncreaseFactor  float64 `json:"increase_factor,omitempty"`
 	DecreaseTrigger float64 `json:"decrease_trigger,omitempty"`
 	DecreaseFactor  float64 `json:"decrease_factor,omitempty"`
+	// HostRetries overrides the in-step retry budget for failing host
+	// reads/writes (-1 disables retrying; 0 keeps the default).
+	HostRetries int `json:"host_retries,omitempty"`
+
+	// Fault injection (sim mode): each listed host call site fails
+	// independently with probability FaultRate. Sites default to the
+	// monitor-path reads (UsageUs, ThreadID, LastCPU, CoreFreqMHz)
+	// plus SetMax; seed 0 means 1. See the controller's degradation
+	// columns in the CSV for the effect.
+	FaultRate  float64  `json:"fault_rate,omitempty"`
+	FaultSites []string `json:"fault_sites,omitempty"`
+	FaultSeed  int64    `json:"fault_seed,omitempty"`
 
 	VMs []ScenarioVM `json:"vms"`
 }
@@ -202,8 +215,42 @@ func controllerConfig(sc Scenario) core.Config {
 	if sc.DecreaseFactor > 0 {
 		cfg.DecreaseFactor = sc.DecreaseFactor
 	}
+	if sc.HostRetries > 0 {
+		cfg.HostRetries = sc.HostRetries
+	} else if sc.HostRetries < 0 {
+		cfg.HostRetries = 0
+	}
 	cfg.ControlEnabled = sc.Control
 	return cfg
+}
+
+// faultHost wraps h with the scenario's fault plans, or returns it
+// unchanged when no injection is configured.
+func faultHost(sc Scenario, h platform.Host) (platform.Host, error) {
+	if sc.FaultRate <= 0 {
+		return h, nil
+	}
+	seed := sc.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	fh := platform.WithFaults(h, seed)
+	sites := sc.FaultSites
+	if len(sites) == 0 {
+		sites = []string{
+			string(platform.SiteUsage), string(platform.SiteThreadID),
+			string(platform.SiteLastCPU), string(platform.SiteCoreFreq),
+			string(platform.SiteSetMax),
+		}
+	}
+	for _, name := range sites {
+		site, err := platform.SiteByName(name)
+		if err != nil {
+			return nil, err
+		}
+		fh.Plan(site, platform.FaultPlan{Rate: sc.FaultRate})
+	}
+	return fh, nil
 }
 
 func runSim(sc Scenario, csvPath, snapPath string) error {
@@ -233,7 +280,11 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 			return err
 		}
 	}
-	ctrl, err := core.New(platform.NewSim(mgr), controllerConfig(sc))
+	h, err := faultHost(sc, platform.NewSim(mgr))
+	if err != nil {
+		return err
+	}
+	ctrl, err := core.New(h, controllerConfig(sc))
 	if err != nil {
 		return err
 	}
@@ -251,8 +302,9 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 	for _, v := range sc.VMs {
 		fmt.Fprintf(out, ",%s_mhz,%s_credit", v.Name, v.Name)
 	}
-	fmt.Fprintln(out, ",market_us,energy_j")
+	fmt.Fprintln(out, ",market_us,energy_j,degraded,faults")
 	period := ctrl.Config().PeriodUs
+	health := trace.NewRecorder()
 	var prevEnergy float64
 	for step := 0; step < sc.DurationS; step++ {
 		snaps := map[string][]int64{}
@@ -279,11 +331,24 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 		}
 		market := ctrl.CapacityUs() - caps
 		e := machine.Meter.Joules()
-		fmt.Fprintf(out, ",%d,%.0f\n", market, e-prevEnergy)
+		rep := ctrl.LastReport()
+		fmt.Fprintf(out, ",%d,%.0f,%d,%d\n", market, e-prevEnergy,
+			rep.DegradedVCPUs, rep.FaultCount())
 		prevEnergy = e
+		health.RecordAll(float64(step+1), map[string]float64{
+			"degraded_vcpus": float64(rep.DegradedVCPUs),
+			"faults":         float64(rep.FaultCount()),
+			"retries":        float64(rep.Retries),
+		})
 	}
 	fmt.Fprintf(os.Stderr, "vfctl: %d periods, controller avg step %v\n",
 		ctrl.Steps(), ctrl.LastTimings().Total)
+	if f := health.Series("faults"); f != nil && f.Sum() > 0 {
+		fmt.Fprintf(os.Stderr,
+			"vfctl: degradation: %.0f faults, %.0f retries, peak %g degraded vCPUs, mean %.2f\n",
+			f.Sum(), health.Series("retries").Sum(),
+			health.Series("degraded_vcpus").Max(), health.Series("degraded_vcpus").Mean())
+	}
 	if snapPath != "" {
 		raw, err := ctrl.Snapshot().JSON()
 		if err != nil {
@@ -318,6 +383,9 @@ func runLinux(sc Scenario) error {
 		start := time.Now()
 		if err := ctrl.Step(); err != nil {
 			return err
+		}
+		if rep := ctrl.LastReport(); rep.Degraded() {
+			fmt.Printf("t=%-4d degraded: %s\n", step+1, rep.String())
 		}
 		for _, st := range ctrl.VMs() {
 			var mhz float64

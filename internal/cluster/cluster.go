@@ -7,12 +7,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"vfreq/internal/core"
 	"vfreq/internal/host"
 	"vfreq/internal/placement"
 	"vfreq/internal/platform"
+	"vfreq/internal/trace"
 	"vfreq/internal/vm"
 	"vfreq/internal/workload"
 )
@@ -47,6 +49,13 @@ type Node struct {
 	Machine *host.Machine
 	Manager *vm.Manager
 	Ctrl    *core.Controller
+
+	// LastReport is the degradation report of the node's most recent
+	// controller Step (zero before the first Step).
+	LastReport core.StepReport
+	// LastErr is the node-level error of the most recent Step, set
+	// only when the node's host was unreachable for the whole period.
+	LastErr error
 
 	deployed map[string]*deployment
 	energyJ  float64 // energy accrued while hosting at least one VM
@@ -286,6 +295,56 @@ func (c *Cluster) Migrate(name string, target int) error {
 	return nil
 }
 
+// Resize live-reconfigures a deployed VM to a new template — the
+// continuous template adjustment adaptive resource managers perform —
+// re-checking the admission constraint with the VM's old demand
+// replaced by the new one. srcs supplies workloads for vCPUs added by a
+// grow (nil = idle); the VM keeps running throughout, and the node's
+// controller picks the new shape up on its next Step.
+func (c *Cluster) Resize(name string, tpl vm.Template, srcs []workload.Source) error {
+	idx, ok := c.locations[name]
+	if !ok {
+		return fmt.Errorf("cluster: no VM %q", name)
+	}
+	n := c.nodes[idx]
+	d := n.deployed[name]
+	if !c.fitsResized(n, d.template, tpl) {
+		return fmt.Errorf("cluster: node %d cannot host %q resized to %d vCPU @ %d MHz, %d GB",
+			idx, name, tpl.VCPUs, tpl.FreqMHz, tpl.MemoryGB)
+	}
+	if err := n.Manager.Reconfigure(name, tpl, srcs); err != nil {
+		return err
+	}
+	d.template = tpl
+	return nil
+}
+
+// fitsResized checks the admission constraint with old's demand on n
+// replaced by new's.
+func (c *Cluster) fitsResized(n *Node, old, tpl vm.Template) bool {
+	p := c.cfg.Policy
+	spec := n.Spec()
+	switch p.Mode {
+	case placement.CoreCount:
+		used := n.usedVCPUs() - old.VCPUs + tpl.VCPUs
+		if float64(used) > float64(spec.Cores)*p.Factor {
+			return false
+		}
+	case placement.VirtualFrequency:
+		if tpl.FreqMHz > spec.MaxMHz {
+			return false
+		}
+		used := n.usedFreqMHz() - int64(old.VCPUs)*old.FreqMHz + int64(tpl.VCPUs)*tpl.FreqMHz
+		if float64(used) > float64(spec.Cores)*float64(spec.MaxMHz)*p.Factor {
+			return false
+		}
+	}
+	if p.Memory && n.usedMemGB()-old.MemoryGB+tpl.MemoryGB > spec.MemoryGB {
+		return false
+	}
+	return true
+}
+
 // Overloaded returns the indices of nodes whose deployed guarantees
 // violate the admission constraint (possible after Undeploy-free external
 // changes or a policy change).
@@ -373,13 +432,19 @@ func (c *Cluster) smallestVM(n *Node) string {
 }
 
 // Step advances every node by one control period and runs its
-// controller.
+// controller. Node failures are isolated: a node whose host is
+// unreachable for the period does not stop the other nodes from being
+// controlled — its error is recorded on the node and returned joined
+// with any others after every node has stepped.
 func (c *Cluster) Step() error {
 	period := c.cfg.Controller.PeriodUs
+	var errs []error
 	for _, n := range c.nodes {
 		n.Machine.Advance(period)
-		if err := n.Ctrl.Step(); err != nil {
-			return fmt.Errorf("cluster: node %d: %w", n.Index, err)
+		n.LastErr = n.Ctrl.Step()
+		n.LastReport = n.Ctrl.LastReport()
+		if n.LastErr != nil {
+			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.Index, n.LastErr))
 		}
 		j := n.Machine.Meter.Joules()
 		if len(n.deployed) > 0 {
@@ -387,7 +452,55 @@ func (c *Cluster) Step() error {
 		}
 		n.lastJ = j
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// Health summarises the degradation of the last Step across the cluster.
+type Health struct {
+	// VCPUs and DegradedVCPUs aggregate the per-node StepReports.
+	VCPUs         int
+	DegradedVCPUs int
+	// Faults is the total fault count of the last Step.
+	Faults int
+	// DegradedNodes counts nodes reporting any degradation, and
+	// FailedNodes those whose whole host was unreachable.
+	DegradedNodes int
+	FailedNodes   int
+}
+
+// Health aggregates the per-node degradation reports of the last Step.
+func (c *Cluster) Health() Health {
+	var h Health
+	for _, n := range c.nodes {
+		rep := n.LastReport
+		h.VCPUs += rep.VCPUs
+		h.DegradedVCPUs += rep.DegradedVCPUs
+		h.Faults += rep.FaultCount()
+		if rep.Degraded() {
+			h.DegradedNodes++
+		}
+		if n.LastErr != nil {
+			h.FailedNodes++
+		}
+	}
+	return h
+}
+
+// RecordHealth appends the last Step's degradation to rec as time
+// series at time tS: cluster-wide totals plus one degraded-vCPU series
+// per node, giving operators the same view of partial failure the
+// paper's figures give of frequency.
+func (c *Cluster) RecordHealth(rec *trace.Recorder, tS float64) {
+	h := c.Health()
+	values := map[string]float64{
+		"cluster_degraded_vcpus": float64(h.DegradedVCPUs),
+		"cluster_faults":         float64(h.Faults),
+		"cluster_failed_nodes":   float64(h.FailedNodes),
+	}
+	for _, n := range c.nodes {
+		values[fmt.Sprintf("node%d_degraded", n.Index)] = float64(n.LastReport.DegradedVCPUs)
+	}
+	rec.RecordAll(tS, values)
 }
 
 // UsedNodes counts nodes hosting at least one VM.

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"vfreq/internal/host"
+	"vfreq/internal/trace"
+	"vfreq/internal/vm"
+)
+
+func TestHealthHealthyCluster(t *testing.T) {
+	c := twoNodeCluster(t)
+	if _, err := c.Deploy("a", vm.Small(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("b", vm.Medium(), busy(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := c.Health()
+	if h.VCPUs != 6 {
+		t.Fatalf("VCPUs = %d, want 6", h.VCPUs)
+	}
+	if h.DegradedVCPUs != 0 || h.Faults != 0 || h.DegradedNodes != 0 || h.FailedNodes != 0 {
+		t.Fatalf("healthy cluster reports degradation: %+v", h)
+	}
+	for _, n := range c.Nodes() {
+		if n.LastErr != nil {
+			t.Fatalf("node %d LastErr = %v", n.Index, n.LastErr)
+		}
+		if n.LastReport.Step == 0 {
+			t.Fatalf("node %d has no report", n.Index)
+		}
+	}
+}
+
+// A node whose pseudo-file reads fail degrades alone: its vCPUs are
+// reported degraded, the other node stays healthy, and the cluster Step
+// still succeeds (fault isolation end to end, through the real sim
+// backend rather than a scripted host).
+func TestStepIsolatesNodeDegradation(t *testing.T) {
+	c := twoNodeCluster(t)
+	if _, err := c.Deploy("a", vm.Small(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("b", vm.Small(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Locate("a") != 0 || c.Locate("b") != 0 {
+		t.Fatal("test expects both VMs on node 0")
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill VM a's usage reads on node 0 (the sim host reads cpu.stat from
+	// the machine's pseudo-filesystem).
+	boom := errors.New("cgroup vanished")
+	c.Nodes()[0].Machine.FailReads("machine-qemu-a.scope", boom, -1)
+	if err := c.Step(); err != nil {
+		t.Fatalf("Step err = %v, want isolated success", err)
+	}
+	h := c.Health()
+	if h.DegradedVCPUs != 2 || h.DegradedNodes != 1 || h.FailedNodes != 0 {
+		t.Fatalf("Health = %+v, want 2 degraded vCPUs on 1 node", h)
+	}
+	rep := c.Nodes()[0].LastReport
+	if rep.FaultCount() == 0 || !errors.Is(rep.Faults[0].Err, boom) {
+		t.Fatalf("node 0 report = %s, want recorded faults", rep.String())
+	}
+	// VM b on the same node is untouched.
+	for _, v := range c.Nodes()[0].Ctrl.VM("b").VCPUs {
+		if v.Degraded {
+			t.Fatal("healthy VM degraded by neighbour's fault")
+		}
+	}
+	// Recovery.
+	c.Nodes()[0].Machine.ClearFileFaults()
+	if err := c.Step(); err != nil {
+		t.Fatalf("recovery step: %v", err)
+	}
+	if got := c.Health(); got.DegradedVCPUs != 0 || got.DegradedNodes != 0 {
+		t.Fatalf("degradation sticky after recovery: %+v", got)
+	}
+}
+
+func TestRecordHealthSeries(t *testing.T) {
+	c := twoNodeCluster(t)
+	if _, err := c.Deploy("a", vm.Small(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	for i := 0; i < 3; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		c.RecordHealth(rec, float64(i+1))
+	}
+	for _, name := range []string{
+		"cluster_degraded_vcpus", "cluster_faults", "cluster_failed_nodes",
+		"node0_degraded", "node1_degraded",
+	} {
+		s := rec.Series(name)
+		if s == nil || s.Len() != 3 {
+			t.Fatalf("series %q missing or short", name)
+		}
+		if s.Sum() != 0 {
+			t.Fatalf("series %q non-zero on healthy cluster", name)
+		}
+	}
+}
+
+func TestResizeReflectsInControllerGuarantee(t *testing.T) {
+	c := twoNodeCluster(t)
+	idx, err := c.Deploy("a", vm.Small(), busy(2)) // 2 vCPU @ 500 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes()[idx]
+	// C_i = 1e6 × 500/2400 = 208333 on chetemi.
+	if got := n.Ctrl.VM("a").GuaranteeUs; got != 208_333 {
+		t.Fatalf("guarantee = %d, want 208333", got)
+	}
+	// Live upgrade to 4 vCPU @ 1200 MHz.
+	if err := c.Resize("a", vm.Medium(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Ctrl.VM("a")
+	if got := st.GuaranteeUs; got != 500_000 {
+		t.Fatalf("guarantee after resize = %d, want 500000", got)
+	}
+	if got := len(st.VCPUs); got != 4 {
+		t.Fatalf("controller tracks %d vCPUs, want 4", got)
+	}
+	// The bookkeeping used by admission follows too.
+	if got := n.usedFreqMHz(); got != 4*1200 {
+		t.Fatalf("usedFreqMHz = %d, want 4800", got)
+	}
+	// Shrink back down.
+	if err := c.Resize("a", vm.Small(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Ctrl.VM("a").VCPUs); got != 2 {
+		t.Fatalf("controller tracks %d vCPUs after shrink, want 2", got)
+	}
+}
+
+func TestResizeRespectsAdmission(t *testing.T) {
+	spec := host.Chetemi()
+	spec.Cores = 2 // capacity 2 × 2400 = 4800 MHz
+	c, err := New([]host.Spec{spec}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("a", vm.Small(), nil); err != nil { // 1000 MHz
+		t.Fatal(err)
+	}
+	if err := c.Resize("ghost", vm.Small(), nil); err == nil {
+		t.Fatal("resize of unknown VM accepted")
+	}
+	// 4 × 1800 = 7200 MHz > 4800: must be rejected, template unchanged.
+	if err := c.Resize("a", vm.Large(), nil); err == nil {
+		t.Fatal("infeasible resize accepted")
+	}
+	if got := c.Nodes()[0].deployed["a"].template.FreqMHz; got != 500 {
+		t.Fatalf("rejected resize mutated template: %d", got)
+	}
+	// 4 × 1200 = 4800 exactly fits.
+	if err := c.Resize("a", vm.Medium(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -71,6 +71,11 @@ type Config struct {
 	// (true, full control) and A (false, monitoring only — no quota is
 	// ever written).
 	ControlEnabled bool
+	// HostRetries is the number of extra in-step attempts for a failed
+	// host read or write before the affected vCPU is declared degraded
+	// for the period (transient /proc and cgroup read races usually
+	// succeed on the immediate retry). 0 disables retrying.
+	HostRetries int
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -88,6 +93,7 @@ func DefaultConfig() Config {
 		CgroupPeriodUs:   100_000,
 		CreditCapPeriods: 60,
 		ControlEnabled:   true,
+		HostRetries:      1,
 	}
 }
 
@@ -128,6 +134,9 @@ func (c Config) Validate() error {
 	}
 	if c.BurstFraction < 0 || c.BurstFraction > 1 {
 		return fmt.Errorf("core: burst fraction %g outside [0, 1]", c.BurstFraction)
+	}
+	if c.HostRetries < 0 || c.HostRetries > 16 {
+		return fmt.Errorf("core: host retries %d outside [0, 16]", c.HostRetries)
 	}
 	return nil
 }

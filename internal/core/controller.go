@@ -33,6 +33,18 @@ type VCPUState struct {
 	// (u/p) × frequency of the last core.
 	FreqMHz float64
 
+	// Degraded marks a vCPU whose monitor or apply stage failed during
+	// the last Step (after the configured retries). A degraded vCPU is
+	// excluded from estimation, credit accrual, the auction and the
+	// free distribution: its cap is held at the last-known-good value
+	// until the host reads succeed again.
+	Degraded bool
+	// FailedSteps counts consecutive Steps this vCPU has been
+	// degraded; 0 when healthy. A value above 1 indicates a persistent
+	// fault (dead thread, vanished cgroup) rather than a transient
+	// read race.
+	FailedSteps int
+
 	// warm marks a vCPU registered during the current step: the first
 	// usage reading happens at registration time, so no consumption
 	// delta exists until the next step. Warm vCPUs keep their initial
@@ -62,6 +74,7 @@ type Controller struct {
 
 	steps   int64
 	timings StageTimings
+	report  StepReport
 }
 
 // New creates a controller.
@@ -93,6 +106,9 @@ func (c *Controller) Steps() int64 { return c.steps }
 // LastTimings returns the stage timings of the most recent Step.
 func (c *Controller) LastTimings() StageTimings { return c.timings }
 
+// LastReport returns the degradation report of the most recent Step.
+func (c *Controller) LastReport() StepReport { return c.report }
+
 // VM returns the state of a VM, or nil.
 func (c *Controller) VM(name string) *VMState { return c.vms[name] }
 
@@ -110,8 +126,83 @@ func (c *Controller) guarantee(freqMHz int64) int64 {
 	return c.cfg.PeriodUs * freqMHz / c.node.MaxFreqMHz
 }
 
-// syncVMs reconciles the controller state with the host's VM list.
-func (c *Controller) syncVMs() error {
+// retryUsage reads a vCPU usage counter with bounded in-step retry.
+func (c *Controller) retryUsage(rep *StepReport, vm string, j int) (int64, error) {
+	var usage int64
+	err := c.withRetry(rep, func() error {
+		var e error
+		usage, e = c.host.UsageUs(vm, j)
+		return e
+	})
+	return usage, err
+}
+
+// withRetry runs op, retrying up to Config.HostRetries extra times. A
+// success after at least one failure is counted in the report.
+func (c *Controller) withRetry(rep *StepReport, op func() error) error {
+	var err error
+	for attempt := 0; attempt <= c.cfg.HostRetries; attempt++ {
+		if err = op(); err == nil {
+			if attempt > 0 {
+				rep.Retries++
+			}
+			return nil
+		}
+	}
+	return err
+}
+
+// validFreq checks a template frequency against this node.
+func (c *Controller) validFreq(freqMHz int64) error {
+	if freqMHz <= 0 {
+		return fmt.Errorf("core: non-positive template frequency %d MHz", freqMHz)
+	}
+	if freqMHz > c.node.MaxFreqMHz {
+		return fmt.Errorf("core: template frequency %d MHz above node F_MAX %d",
+			freqMHz, c.node.MaxFreqMHz)
+	}
+	return nil
+}
+
+// newVCPUState registers one vCPU, reading its initial usage counter.
+func (c *Controller) newVCPUState(rep *StepReport, st *VMState, name string, j int) (*VCPUState, error) {
+	usage, err := c.retryUsage(rep, name, j)
+	if err != nil {
+		return nil, err
+	}
+	return &VCPUState{
+		VM:          name,
+		Index:       j,
+		Hist:        NewHistory(c.cfg.HistoryLen),
+		PrevUsageUs: usage,
+		CapUs:       st.GuaranteeUs,
+		EstUs:       st.GuaranteeUs,
+		LastCore:    -1,
+		warm:        true,
+	}, nil
+}
+
+// releaseVCPU restores a vCPU cgroup to an unlimited quota (and a zero
+// burst budget) when the controller stops managing it — on VM departure
+// and on a live vCPU-count shrink. Without this, a reused cgroup path
+// would inherit the dead vCPU's quota. The restore is best-effort: on a
+// real departure the cgroup is usually already gone.
+func (c *Controller) releaseVCPU(vm string, j int) {
+	if !c.cfg.ControlEnabled {
+		return
+	}
+	_ = c.host.ClearMax(vm, j)
+	if c.cfg.BurstFraction > 0 {
+		_ = c.host.SetBurst(vm, j, 0)
+	}
+}
+
+// syncVMs reconciles the controller state with the host's VM list:
+// registering arrivals, cleaning up departures, and applying live
+// template changes (frequency and vCPU count) to running VMs. Only a
+// failed VM enumeration aborts the reconcile; per-VM problems degrade
+// that VM alone and are recorded in the report.
+func (c *Controller) syncVMs(rep *StepReport) error {
 	infos, err := c.host.ListVMs()
 	if err != nil {
 		return fmt.Errorf("core: listing VMs: %w", err)
@@ -120,36 +211,41 @@ func (c *Controller) syncVMs() error {
 	for _, info := range infos {
 		seen[info.Name] = true
 		if st, ok := c.vms[info.Name]; ok {
-			st.Info = info
+			c.reconcileVM(rep, st, info)
 			continue
 		}
-		if info.FreqMHz > c.node.MaxFreqMHz {
-			return fmt.Errorf("core: VM %q requests %d MHz above node F_MAX %d",
-				info.Name, info.FreqMHz, c.node.MaxFreqMHz)
+		if err := c.validFreq(info.FreqMHz); err != nil {
+			// Reject the VM without aborting the Step; admission is
+			// retried every period in case the template is fixed.
+			rep.record(Fault{VM: info.Name, VCPU: -1, Stage: "sync", Op: "template", Err: err})
+			continue
 		}
 		st := &VMState{Info: info, GuaranteeUs: c.guarantee(info.FreqMHz)}
+		ok := true
 		for j := 0; j < info.VCPUs; j++ {
-			usage, err := c.host.UsageUs(info.Name, j)
+			v, err := c.newVCPUState(rep, st, info.Name, j)
 			if err != nil {
-				return fmt.Errorf("core: initial usage of %s/vcpu%d: %w", info.Name, j, err)
+				// Registration is atomic per VM: retry next period.
+				rep.record(Fault{VM: info.Name, VCPU: j, Stage: "sync", Op: "usage", Err: err})
+				ok = false
+				break
 			}
-			st.VCPUs = append(st.VCPUs, &VCPUState{
-				VM:          info.Name,
-				Index:       j,
-				Hist:        NewHistory(c.cfg.HistoryLen),
-				PrevUsageUs: usage,
-				CapUs:       st.GuaranteeUs,
-				EstUs:       st.GuaranteeUs,
-				LastCore:    -1,
-				warm:        true,
-			})
+			st.VCPUs = append(st.VCPUs, v)
+		}
+		if !ok {
+			continue
 		}
 		c.vms[info.Name] = st
 		c.order = append(c.order, info.Name)
+		rep.Added = append(rep.Added, info.Name)
 	}
-	// Drop departed VMs.
-	for name := range c.vms {
+	// Drop departed VMs, releasing their quotas so reused cgroup paths
+	// start unthrottled.
+	for name, st := range c.vms {
 		if !seen[name] {
+			for _, v := range st.VCPUs {
+				c.releaseVCPU(name, v.Index)
+			}
 			delete(c.vms, name)
 			for i, n := range c.order {
 				if n == name {
@@ -157,98 +253,200 @@ func (c *Controller) syncVMs() error {
 					break
 				}
 			}
+			rep.Removed = append(rep.Removed, name)
 		}
 	}
 	return nil
 }
 
+// reconcileVM applies a live template change to an already-registered VM:
+// a frequency change recomputes the Eq. 2 guarantee (after re-validation
+// against F_MAX), and a vCPU-count change grows or shrinks the tracked
+// vCPU set.
+func (c *Controller) reconcileVM(rep *StepReport, st *VMState, info platform.VMInfo) {
+	reconfigured := false
+	if info.FreqMHz != st.Info.FreqMHz {
+		if err := c.validFreq(info.FreqMHz); err != nil {
+			// Hold the last-known-good template; the fault is
+			// re-reported every period until the host fixes it.
+			rep.record(Fault{VM: info.Name, VCPU: -1, Stage: "sync", Op: "template", Err: err})
+			info.FreqMHz = st.Info.FreqMHz
+		} else {
+			st.GuaranteeUs = c.guarantee(info.FreqMHz)
+			reconfigured = true
+		}
+	}
+	if info.VCPUs < len(st.VCPUs) {
+		// Shrink: stop controlling the trailing vCPUs and leave their
+		// cgroups unthrottled.
+		for j := info.VCPUs; j < len(st.VCPUs); j++ {
+			c.releaseVCPU(info.Name, j)
+		}
+		st.VCPUs = st.VCPUs[:info.VCPUs]
+		reconfigured = true
+	} else if info.VCPUs > len(st.VCPUs) {
+		// Grow: register the new vCPUs warm. A failed initial read
+		// stops the growth at that index; the remainder is retried
+		// next period.
+		for j := len(st.VCPUs); j < info.VCPUs; j++ {
+			v, err := c.newVCPUState(rep, st, info.Name, j)
+			if err != nil {
+				rep.record(Fault{VM: info.Name, VCPU: j, Stage: "sync", Op: "usage", Err: err})
+				break
+			}
+			st.VCPUs = append(st.VCPUs, v)
+		}
+		reconfigured = true
+	}
+	st.Info = info
+	if reconfigured {
+		rep.Reconfigured = append(rep.Reconfigured, info.Name)
+	}
+}
+
 // Step runs one full control iteration. In a live deployment it is called
 // every PeriodUs of wall-clock time; in simulation, after advancing the
 // simulated machine by one period.
+//
+// Step is fault-isolated: a failed read or write for one vCPU degrades
+// that vCPU alone (its cap is held at the last-known-good value, the
+// fault is recorded in the StepReport) while every other vCPU receives a
+// fresh quota. Step returns an error only when the whole host is
+// unreachable, i.e. the VM enumeration itself fails.
 func (c *Controller) Step() error {
+	rep := StepReport{Step: c.steps + 1}
 	t0 := time.Now()
-	if err := c.syncVMs(); err != nil {
+	if err := c.syncVMs(&rep); err != nil {
+		rep.Timings.Total = time.Since(t0)
+		c.timings = rep.Timings
+		c.report = rep
 		return err
 	}
 	tm0 := time.Now()
-	if err := c.monitor(); err != nil {
-		return err
-	}
-	c.timings.Monitor = time.Since(tm0)
+	c.monitor(&rep)
+	rep.Timings.Monitor = time.Since(tm0)
 
 	te := time.Now()
 	c.estimateAll()
-	c.timings.Estimate = time.Since(te)
+	rep.Timings.Estimate = time.Since(te)
 
 	tf := time.Now()
 	c.enforceBase()
-	c.timings.Enforce = time.Since(tf)
+	rep.Timings.Enforce = time.Since(tf)
 
 	ta := time.Now()
 	market := c.market()
 	market = c.auction(market)
-	c.timings.Auction = time.Since(ta)
+	rep.Timings.Auction = time.Since(ta)
 
 	td := time.Now()
 	c.distribute(market)
-	c.timings.Distribute = time.Since(td)
+	rep.Timings.Distribute = time.Since(td)
 
 	tp := time.Now()
-	var err error
 	if c.cfg.ControlEnabled {
-		err = c.apply()
+		c.apply(&rep)
 	}
-	c.timings.Apply = time.Since(tp)
-	c.timings.Total = time.Since(t0)
+	rep.Timings.Apply = time.Since(tp)
+	rep.Timings.Total = time.Since(t0)
+
+	rep.VMs = len(c.vms)
+	for _, st := range c.vms {
+		for _, v := range st.VCPUs {
+			rep.VCPUs++
+			if v.Degraded {
+				rep.DegradedVCPUs++
+			} else {
+				rep.HealthyVCPUs++
+			}
+		}
+	}
+	c.timings = rep.Timings
+	c.report = rep
 	c.steps++
-	return err
+	return nil
 }
 
 // monitor implements stage 1: read consumption deltas, thread placement
 // and core frequencies, and derive each vCPU's virtual frequency
 // estimate. The thread location is read once per iteration, as discussed
 // in §III-B1 of the paper.
-func (c *Controller) monitor() error {
+//
+// The reads of one vCPU commit atomically: when any of them fails (after
+// the configured retries) the vCPU keeps its previous bookkeeping and is
+// marked degraded for this Step, so a later successful read observes one
+// consistent cumulative delta instead of a half-updated state.
+func (c *Controller) monitor(rep *StepReport) {
 	for _, name := range c.order {
 		st := c.vms[name]
 		for _, v := range st.VCPUs {
-			usage, err := c.host.UsageUs(v.VM, v.Index)
-			if err != nil {
-				return fmt.Errorf("core: usage of %s/vcpu%d: %w", v.VM, v.Index, err)
-			}
-			if v.warm {
-				// Registered this step: the delta against the
-				// registration reading spans no time yet.
-				v.PrevUsageUs = usage
-				v.warm = false
+			if op, err := c.monitorOne(rep, v); err != nil {
+				v.Degraded = true
+				v.FailedSteps++
+				rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "monitor", Op: op, Err: err})
 			} else {
-				u := usage - v.PrevUsageUs
-				if u < 0 {
-					u = 0 // counter reset (VM restart)
-				}
-				v.PrevUsageUs = usage
-				v.LastU = u
-				v.Hist.Push(u)
+				v.Degraded = false
+				v.FailedSteps = 0
 			}
-
-			tid, err := c.host.ThreadID(v.VM, v.Index)
-			if err != nil {
-				return fmt.Errorf("core: tid of %s/vcpu%d: %w", v.VM, v.Index, err)
-			}
-			v.TID = tid
-			core, err := c.host.LastCPU(tid)
-			if err != nil {
-				return fmt.Errorf("core: placement of tid %d: %w", tid, err)
-			}
-			v.LastCore = core
-			freq, err := c.host.CoreFreqMHz(core)
-			if err != nil {
-				return fmt.Errorf("core: frequency of core %d: %w", core, err)
-			}
-			v.FreqMHz = float64(v.LastU) / float64(c.cfg.PeriodUs) * float64(freq)
 		}
 	}
-	return nil
+}
+
+// monitorOne gathers one vCPU's readings and commits them only when all
+// four host reads succeed. It returns the failed operation name on error.
+func (c *Controller) monitorOne(rep *StepReport, v *VCPUState) (string, error) {
+	usage, err := c.retryUsage(rep, v.VM, v.Index)
+	if err != nil {
+		return "usage", err
+	}
+	var tid int
+	if err := c.withRetry(rep, func() error {
+		var e error
+		tid, e = c.host.ThreadID(v.VM, v.Index)
+		return e
+	}); err != nil {
+		return "tid", err
+	}
+	var core int
+	if err := c.withRetry(rep, func() error {
+		var e error
+		core, e = c.host.LastCPU(tid)
+		return e
+	}); err != nil {
+		return "lastcpu", err
+	}
+	var freq int64
+	if err := c.withRetry(rep, func() error {
+		var e error
+		freq, e = c.host.CoreFreqMHz(core)
+		return e
+	}); err != nil {
+		return "freq", err
+	}
+
+	if v.warm {
+		// Registered this step: the delta against the registration
+		// reading spans no time yet.
+		v.PrevUsageUs = usage
+		v.warm = false
+	} else {
+		u := usage - v.PrevUsageUs
+		if u < 0 {
+			u = 0 // counter reset (VM restart)
+		}
+		if u > c.cfg.PeriodUs {
+			// A delta spanning periods missed while degraded; clamp
+			// to the per-period maximum a single thread can attain.
+			u = c.cfg.PeriodUs
+		}
+		v.PrevUsageUs = usage
+		v.LastU = u
+		v.Hist.Push(u)
+	}
+	v.TID = tid
+	v.LastCore = core
+	v.FreqMHz = float64(v.LastU) / float64(c.cfg.PeriodUs) * float64(freq)
+	return "", nil
 }
 
 // market computes Eq. 6: the cycles of the next period not allocated to
@@ -268,12 +466,13 @@ func (c *Controller) market() int64 {
 }
 
 // buyers returns the vCPUs whose estimate exceeds their cap, i.e. those
-// that want to buy cycles, grouped per VM in a stable order.
+// that want to buy cycles, grouped per VM in a stable order. Degraded
+// vCPUs never buy: their estimate is stale and their cap is held.
 func (c *Controller) buyers() []*VCPUState {
 	var out []*VCPUState
 	for _, name := range c.order {
 		for _, v := range c.vms[name].VCPUs {
-			if v.CapUs < v.EstUs {
+			if !v.Degraded && v.CapUs < v.EstUs {
 				out = append(out, v)
 			}
 		}

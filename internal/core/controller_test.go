@@ -17,6 +17,7 @@ type fakeHost struct {
 	setMax   map[string][2]int64
 	setBurst map[string]int64
 	applied  int
+	cleared  []string // ClearMax calls, "vm/j"
 }
 
 func newFakeHost() *fakeHost {
@@ -48,6 +49,7 @@ func (f *fakeHost) SetMax(vm string, j int, quota, period int64) error {
 }
 func (f *fakeHost) ClearMax(vm string, j int) error {
 	delete(f.setMax, key(vm, j))
+	f.cleared = append(f.cleared, key(vm, j))
 	return nil
 }
 func (f *fakeHost) SetBurst(vm string, j int, burstUs int64) error {
@@ -174,8 +176,15 @@ func TestSyncRejectsInfeasibleFrequency(t *testing.T) {
 	h := newFakeHost()
 	c := mustController(t, h, DefaultConfig())
 	h.addVM("fast", 1, 5000) // above 2400 F_MAX
-	if err := c.Step(); err == nil {
-		t.Fatal("frequency above F_MAX accepted")
+	if err := c.Step(); err != nil {
+		t.Fatalf("one bad template aborted the step: %v", err)
+	}
+	if c.VM("fast") != nil {
+		t.Fatal("infeasible VM registered")
+	}
+	rep := c.LastReport()
+	if rep.FaultCount() != 1 || rep.Faults[0].Stage != "sync" || rep.Faults[0].Op != "template" {
+		t.Fatalf("faults = %+v, want one sync/template fault", rep.Faults)
 	}
 }
 
@@ -466,18 +475,14 @@ func TestApplyScalesQuotaToCgroupPeriod(t *testing.T) {
 	}
 	v := c.VM("a").VCPUs[0]
 	v.CapUs = 400_000 // per 1 s period
-	if err := c.apply(); err != nil {
-		t.Fatal(err)
-	}
+	c.apply(&StepReport{})
 	got := h.setMax[key("a", 0)]
 	if got[0] != 40_000 || got[1] != 100_000 {
 		t.Fatalf("quota = %v, want [40000 100000]", got)
 	}
 	// Tiny caps floor at MinQuotaUs.
 	v.CapUs = 10
-	if err := c.apply(); err != nil {
-		t.Fatal(err)
-	}
+	c.apply(&StepReport{})
 	got = h.setMax[key("a", 0)]
 	if got[0] != c.Config().MinQuotaUs {
 		t.Fatalf("floored quota = %d, want %d", got[0], c.Config().MinQuotaUs)

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vfreq/internal/platform"
+)
+
+// warmUp runs enough clean steps for history to fill and caps to settle.
+func warmUp(t *testing.T, c *Controller, h *fakeHost, steps int, usPerStep int64) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		for _, info := range h.vms {
+			for j := 0; j < info.VCPUs; j++ {
+				h.consume(info.Name, j, usPerStep)
+			}
+		}
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A transient fault that fits inside the retry budget is invisible: the
+// step reports a retry but no degradation.
+func TestRetryMasksTransientFault(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 1, 1200)
+	fh := platform.WithFaults(inner, 7)
+	c := mustController(t, fh, DefaultConfig()) // HostRetries = 1
+	warmUp(t, c, inner, 2, 300_000)
+	fh.Plan(platform.SiteUsage, platform.FaultPlan{Count: 1})
+	inner.consume("a", 0, 300_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.LastReport()
+	if rep.DegradedVCPUs != 0 || rep.FaultCount() != 0 {
+		t.Fatalf("transient fault not masked: %s", rep.String())
+	}
+	if rep.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", rep.Retries)
+	}
+	if fh.Injected(platform.SiteUsage) != 1 {
+		t.Fatalf("injected = %d", fh.Injected(platform.SiteUsage))
+	}
+}
+
+// A persistent per-vCPU fault degrades only that vCPU: its cap is held at
+// the last-known-good value while healthy vCPUs keep receiving fresh
+// quotas, and the step still succeeds.
+func TestPersistentFaultHoldsLastGoodCap(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 2, 1200)
+	fh := platform.WithFaults(inner, 7)
+	c := mustController(t, fh, DefaultConfig())
+	warmUp(t, c, inner, 3, 300_000)
+	held := c.VM("a").VCPUs[1].CapUs
+	applied := inner.applied
+
+	fh.Plan(platform.SiteUsage, platform.FaultPlan{
+		Persistent: true,
+		Match:      func(vm string, vcpu int) bool { return vm == "a" && vcpu == 1 },
+	})
+	for i := 0; i < 3; i++ {
+		inner.consume("a", 0, 900_000)
+		inner.consume("a", 1, 900_000)
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		rep := c.LastReport()
+		if rep.DegradedVCPUs != 1 || rep.HealthyVCPUs != 1 {
+			t.Fatalf("step %d: degraded/healthy = %d/%d", i, rep.DegradedVCPUs, rep.HealthyVCPUs)
+		}
+		if !errors.Is(rep.Faults[0].Err, platform.ErrInjected) {
+			t.Fatalf("fault not the injected one: %v", rep.Faults[0])
+		}
+		if got := c.VM("a").VCPUs[1].CapUs; got != held {
+			t.Fatalf("degraded cap moved: %d, want held %d", got, held)
+		}
+	}
+	if c.VM("a").VCPUs[1].FailedSteps != 3 {
+		t.Fatalf("FailedSteps = %d, want 3", c.VM("a").VCPUs[1].FailedSteps)
+	}
+	// The healthy vCPU kept getting quota writes (one per step).
+	if inner.applied < applied+3 {
+		t.Fatalf("healthy vCPU starved of quota writes: %d → %d", applied, inner.applied)
+	}
+	// Recovery: clear the plan and the vCPU rejoins the loop.
+	fh.Clear(platform.SiteUsage)
+	inner.consume("a", 1, 900_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	v := c.VM("a").VCPUs[1]
+	if v.Degraded || v.FailedSteps != 0 {
+		t.Fatalf("vCPU did not recover: %+v", v)
+	}
+	if c.LastReport().DegradedVCPUs != 0 {
+		t.Fatal("report still shows degradation after recovery")
+	}
+}
+
+// Conservation under partial failure: whatever subset of vCPUs degrades,
+// Σcaps never exceeds the machine capacity (the market subtracts held
+// caps like any other allocation).
+func TestConservationUnderPartialFailure(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 2, 1200)
+	inner.addVM("b", 1, 600)
+	inner.addVM("c", 1, 1800)
+	fh := platform.WithFaults(inner, 99)
+	cfg := DefaultConfig()
+	cfg.HostRetries = 0 // let every injected fault land
+	c := mustController(t, fh, cfg)
+	fh.Plan(platform.SiteUsage, platform.FaultPlan{Rate: 0.3})
+	fh.Plan(platform.SiteSetMax, platform.FaultPlan{Rate: 0.3})
+	rng := rand.New(rand.NewSource(5))
+	sawDegraded := false
+	for step := 0; step < 30; step++ {
+		for _, info := range inner.vms {
+			for j := 0; j < info.VCPUs; j++ {
+				inner.consume(info.Name, j, int64(rng.Intn(1_000_001)))
+			}
+		}
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if c.LastReport().Degraded() {
+			sawDegraded = true
+		}
+		var total int64
+		for _, st := range c.VMs() {
+			for _, v := range st.VCPUs {
+				if v.CapUs < 0 || v.CapUs > cfg.PeriodUs {
+					t.Fatalf("cap %d out of per-vCPU range", v.CapUs)
+				}
+				total += v.CapUs
+			}
+		}
+		if total > c.CapacityUs() {
+			t.Fatalf("step %d: Σcaps %d > capacity %d under partial failure",
+				step, total, c.CapacityUs())
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("fault rate 0.3 over 30 steps never degraded a vCPU")
+	}
+}
+
+// Live template-frequency change: the Eq. 2 guarantee follows on the next
+// Step (regression: it used to stick to the admission-time value).
+func TestReconcileFrequencyChange(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.VM("a").GuaranteeUs; got != 500_000 {
+		t.Fatalf("guarantee = %d, want 500000", got)
+	}
+	h.vms[0].FreqMHz = 600
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.VM("a").GuaranteeUs; got != 250_000 {
+		t.Fatalf("guarantee after downgrade = %d, want 250000", got)
+	}
+	rep := c.LastReport()
+	if len(rep.Reconfigured) != 1 || rep.Reconfigured[0] != "a" {
+		t.Fatalf("Reconfigured = %v, want [a]", rep.Reconfigured)
+	}
+}
+
+// A frequency change above F_MAX is re-validated on reconcile (regression:
+// the check used to run only at admission): the change is rejected, the
+// last-known-good template held, and the fault reported.
+func TestReconcileRejectsInfeasibleFrequencyChange(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.vms[0].FreqMHz = 5000 // above 2400 F_MAX
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.VM("a")
+	if st.GuaranteeUs != 500_000 || st.Info.FreqMHz != 1200 {
+		t.Fatalf("infeasible change applied: guarantee %d, freq %d",
+			st.GuaranteeUs, st.Info.FreqMHz)
+	}
+	rep := c.LastReport()
+	if rep.FaultCount() != 1 || rep.Faults[0].Op != "template" {
+		t.Fatalf("faults = %+v, want one template fault", rep.Faults)
+	}
+}
+
+// Live vCPU-count change: the tracked slice grows (warm registration) and
+// shrinks (with quota release) to follow the host (regression: it used to
+// stay at the admission-time length).
+func TestReconcileVCPUGrowShrink(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 2, 1200)
+	warmUp(t, c, h, 2, 300_000)
+	// Grow 2 → 4.
+	h.vms[0].VCPUs = 4
+	h.usage[key("a", 2)] = 0
+	h.usage[key("a", 3)] = 0
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.VM("a")
+	if len(st.VCPUs) != 4 {
+		t.Fatalf("len(VCPUs) = %d after grow, want 4", len(st.VCPUs))
+	}
+	if st.VCPUs[3].CapUs != st.GuaranteeUs {
+		t.Fatalf("new vCPU cap = %d, want guarantee %d", st.VCPUs[3].CapUs, st.GuaranteeUs)
+	}
+	// Shrink 4 → 1: trailing quotas are released.
+	h.vms[0].VCPUs = 1
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.VM("a").VCPUs); got != 1 {
+		t.Fatalf("len(VCPUs) = %d after shrink, want 1", got)
+	}
+	want := map[string]bool{key("a", 1): true, key("a", 2): true, key("a", 3): true}
+	for _, k := range h.cleared {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("shrink left quotas behind: %v (cleared %v)", want, h.cleared)
+	}
+}
+
+// A partial growth (initial read fails for one new vCPU) stops at that
+// index and is completed on a later step.
+func TestReconcilePartialGrowthRetries(t *testing.T) {
+	h := newFakeHost()
+	c := mustController(t, h, DefaultConfig())
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.vms[0].VCPUs = 3
+	h.usage[key("a", 1)] = 0 // vCPU 2 has no usage file yet → read fails
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.VM("a").VCPUs); got != 2 {
+		t.Fatalf("len(VCPUs) = %d after partial grow, want 2", got)
+	}
+	if c.LastReport().FaultCount() == 0 {
+		t.Fatal("partial growth not reported")
+	}
+	h.usage[key("a", 2)] = 0 // the file appears
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.VM("a").VCPUs); got != 3 {
+		t.Fatalf("len(VCPUs) = %d after retry, want 3", got)
+	}
+}
+
+// VM departure resets the vCPU cgroups to an unlimited quota and a zero
+// burst (regression: quotas used to outlive the VM, throttling any later
+// VM that reused the cgroup path).
+func TestDepartureReleasesQuotas(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.BurstFraction = 0.2
+	c := mustController(t, h, cfg)
+	h.addVM("a", 2, 1200)
+	warmUp(t, c, h, 2, 300_000)
+	if h.setBurst[key("a", 0)] == 0 {
+		t.Fatal("burst budget not armed during the run")
+	}
+	h.vms = nil
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if _, ok := h.setMax[key("a", j)]; ok {
+			t.Fatalf("vCPU %d quota survived departure", j)
+		}
+		if got := h.setBurst[key("a", j)]; got != 0 {
+			t.Fatalf("vCPU %d burst = %d after departure, want 0", j, got)
+		}
+	}
+	rep := c.LastReport()
+	if len(rep.Removed) != 1 || rep.Removed[0] != "a" {
+		t.Fatalf("Removed = %v, want [a]", rep.Removed)
+	}
+}
+
+// In monitoring-only mode (execution A) no departure cleanup writes
+// happen either — the controller never touched the cgroups.
+func TestDepartureWritesNothingWithoutControl(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.ControlEnabled = false
+	c := mustController(t, h, cfg)
+	h.addVM("a", 1, 1200)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	h.vms = nil
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.cleared) != 0 {
+		t.Fatalf("monitoring-only departure cleared %v", h.cleared)
+	}
+}
+
+// The report's fault list is bounded; the overflow is counted instead of
+// stored.
+func TestStepReportFaultCap(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultConfig()
+	cfg.HostRetries = 0
+	c := mustController(t, h, cfg)
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("vm%d", i)
+		h.vms = append(h.vms, platform.VMInfo{Name: name, VCPUs: 4, FreqMHz: 500})
+		for j := 0; j < 4; j++ {
+			h.usage[key(name, j)] = 0
+		}
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Every usage file disappears: 160 monitor faults in one step.
+	h.usage = map[string]int64{}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.LastReport()
+	if len(rep.Faults) != maxFaultsPerStep {
+		t.Fatalf("stored faults = %d, want capped %d", len(rep.Faults), maxFaultsPerStep)
+	}
+	if rep.FaultCount() != 160 {
+		t.Fatalf("FaultCount = %d, want 160", rep.FaultCount())
+	}
+	if rep.DegradedVCPUs != 160 || rep.HealthyVCPUs != 0 {
+		t.Fatalf("degraded/healthy = %d/%d", rep.DegradedVCPUs, rep.HealthyVCPUs)
+	}
+}

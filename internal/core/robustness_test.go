@@ -69,17 +69,21 @@ func (f *flakyHost) SetMax(vm string, j int, q, p int64) error {
 
 func newFlaky() *flakyHost { return &flakyHost{fakeHost: newFakeHost()} }
 
+// Per-vCPU host failures no longer abort the step: Step succeeds, the
+// vCPU degrades and the fault lands in the StepReport. Only a failing
+// ListVMs — the host is unreachable — surfaces as a Step error.
 func TestStepSurfacesHostErrors(t *testing.T) {
 	cases := []struct {
-		name string
-		set  func(*flakyHost)
+		name  string
+		set   func(*flakyHost)
+		stage string
 	}{
-		{"list", func(f *flakyHost) { f.failList = true }},
-		{"usage", func(f *flakyHost) { f.failUsage = true }},
-		{"tid", func(f *flakyHost) { f.failTID = true }},
-		{"lastcpu", func(f *flakyHost) { f.failCPU = true }},
-		{"freq", func(f *flakyHost) { f.failFreq = true }},
-		{"setmax", func(f *flakyHost) { f.failSetMax = true }},
+		{"list", func(f *flakyHost) { f.failList = true }, ""},
+		{"usage", func(f *flakyHost) { f.failUsage = true }, "monitor"},
+		{"tid", func(f *flakyHost) { f.failTID = true }, "monitor"},
+		{"lastcpu", func(f *flakyHost) { f.failCPU = true }, "monitor"},
+		{"freq", func(f *flakyHost) { f.failFreq = true }, "monitor"},
+		{"setmax", func(f *flakyHost) { f.failSetMax = true }, "apply"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -91,15 +95,34 @@ func TestStepSurfacesHostErrors(t *testing.T) {
 			}
 			h.consume("a", 0, 500_000)
 			tc.set(h)
-			if err := c.Step(); !errors.Is(err, errInjected) {
-				t.Fatalf("Step err = %v, want injected failure", err)
+			err := c.Step()
+			if tc.name == "list" {
+				if !errors.Is(err, errInjected) {
+					t.Fatalf("Step err = %v, want injected failure", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Step err = %v, want fault-isolated success", err)
+			}
+			rep := c.LastReport()
+			if rep.DegradedVCPUs != 1 {
+				t.Fatalf("DegradedVCPUs = %d, want 1", rep.DegradedVCPUs)
+			}
+			if rep.FaultCount() == 0 {
+				t.Fatal("no fault recorded")
+			}
+			f := rep.Faults[0]
+			if f.Stage != tc.stage || !errors.Is(f.Err, errInjected) {
+				t.Fatalf("fault = %+v, want stage %q wrapping injected error", f, tc.stage)
 			}
 		})
 	}
 }
 
-// After a failed step, recovery must be clean: the next successful step
-// runs and state stays consistent (no double-counted usage).
+// After a degraded step, recovery must be clean: monitoring commits
+// atomically, so the failed step leaves the usage bookkeeping untouched
+// and the recovery step absorbs the full accumulated delta.
 func TestRecoveryAfterFailedStep(t *testing.T) {
 	h := newFlaky()
 	h.addVM("a", 1, 1200)
@@ -109,8 +132,11 @@ func TestRecoveryAfterFailedStep(t *testing.T) {
 	}
 	h.consume("a", 0, 300_000)
 	h.failFreq = true
-	if err := c.Step(); err == nil {
-		t.Fatal("expected failure")
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.VM("a").VCPUs[0].Degraded {
+		t.Fatal("vCPU not degraded after failed monitor")
 	}
 	h.failFreq = false
 	h.consume("a", 0, 400_000)
@@ -118,15 +144,17 @@ func TestRecoveryAfterFailedStep(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := c.VM("a").VCPUs[0]
-	// The failed step already consumed the 300000 delta (monitor ran
-	// before the frequency read failed); the recovery step sees only
-	// the 400000 of the following period. Whatever the split, the
-	// cumulative bookkeeping must match the host counter.
+	if v.Degraded {
+		t.Fatal("vCPU still degraded after clean step")
+	}
+	// The degraded step committed nothing, so the recovery step sees
+	// the full 700000 delta and the cumulative bookkeeping matches the
+	// host counter.
 	if v.PrevUsageUs != 700_000 {
 		t.Fatalf("PrevUsageUs = %d, want 700000", v.PrevUsageUs)
 	}
-	if v.LastU != 400_000 {
-		t.Fatalf("LastU = %d, want 400000", v.LastU)
+	if v.LastU != 700_000 {
+		t.Fatalf("LastU = %d, want 700000", v.LastU)
 	}
 }
 

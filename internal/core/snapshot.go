@@ -15,6 +15,8 @@ type Snapshot struct {
 	MarketUs         int64        `json:"market_us"`
 	StepMicros       int64        `json:"step_micros"`
 	MonitorMicros    int64        `json:"monitor_micros"`
+	DegradedVCPUs    int          `json:"degraded_vcpus"`
+	Faults           int          `json:"faults"`
 	VMs              []VMSnapshot `json:"vms"`
 }
 
@@ -36,6 +38,8 @@ type VCPUSnapshot struct {
 	CapUs       int64   `json:"cap_us"`
 	EstimateUs  int64   `json:"estimate_us"`
 	VirtFreqMHz float64 `json:"virt_freq_mhz"`
+	Degraded    bool    `json:"degraded,omitempty"`
+	FailedSteps int     `json:"failed_steps,omitempty"`
 }
 
 // Snapshot captures the current controller state.
@@ -49,6 +53,8 @@ func (c *Controller) Snapshot() Snapshot {
 		TotalGuaranteeUs: c.TotalGuaranteeUs(),
 		StepMicros:       c.timings.Total.Microseconds(),
 		MonitorMicros:    c.timings.Monitor.Microseconds(),
+		DegradedVCPUs:    c.report.DegradedVCPUs,
+		Faults:           c.report.FaultCount(),
 	}
 	for _, name := range c.order {
 		st := c.vms[name]
@@ -67,6 +73,8 @@ func (c *Controller) Snapshot() Snapshot {
 				CapUs:       v.CapUs,
 				EstimateUs:  v.EstUs,
 				VirtFreqMHz: v.FreqMHz,
+				Degraded:    v.Degraded,
+				FailedSteps: v.FailedSteps,
 			})
 			s.TotalCapUs += v.CapUs
 		}

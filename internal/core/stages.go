@@ -2,10 +2,14 @@ package core
 
 // estimateAll implements stage 2: per-vCPU estimation of the upcoming
 // consumption, using the Eq. 3 trend over the consumption history and the
-// trigger/factor mechanism of §III-B2.
+// trigger/factor mechanism of §III-B2. Degraded vCPUs have no fresh
+// measurement to estimate from and keep their previous estimate.
 func (c *Controller) estimateAll() {
 	for _, name := range c.order {
 		for _, v := range c.vms[name].VCPUs {
+			if v.Degraded {
+				continue
+			}
 			v.EstUs = c.estimate(v)
 		}
 	}
@@ -63,9 +67,12 @@ func (c *Controller) enforceBase() {
 	for _, name := range c.order {
 		st := c.vms[name]
 		// Eq. 4: credits accrue for every vCPU consuming less than
-		// the guarantee. vCPUs without a measurement yet earn
-		// nothing.
+		// the guarantee. vCPUs without a measurement yet — warm or
+		// degraded — earn nothing.
 		for _, v := range st.VCPUs {
+			if v.Degraded {
+				continue
+			}
 			if v.Hist.Len() > 0 && st.GuaranteeUs > v.LastU {
 				st.CreditUs += st.GuaranteeUs - v.LastU
 			}
@@ -77,8 +84,12 @@ func (c *Controller) enforceBase() {
 			}
 		}
 		// Eq. 5: guarantee the base frequency, never allocate more
-		// than estimated.
+		// than estimated. A degraded vCPU holds its last-known-good
+		// cap instead of recomputing from stale data.
 		for _, v := range st.VCPUs {
+			if v.Degraded {
+				continue
+			}
 			if v.EstUs < st.GuaranteeUs {
 				v.CapUs = v.EstUs
 			} else {
@@ -183,25 +194,42 @@ func (c *Controller) distribute(market int64) {
 // apply implements stage 6: translate the per-vCPU cycle allocations into
 // cgroup cpu.max quotas. Allocations are expressed per control period p;
 // quotas are written against the (shorter) cgroup bandwidth period.
-func (c *Controller) apply() error {
+//
+// Application is fault-isolated: a failed write degrades that vCPU alone
+// (its cgroup keeps the previous quota, which equals the held cap) while
+// every healthy vCPU still gets its fresh quota. vCPUs already degraded
+// in monitoring are skipped — their cap is unchanged, so the quota in
+// the cgroup is already the one we would write.
+func (c *Controller) apply(rep *StepReport) {
 	for _, name := range c.order {
 		for _, v := range c.vms[name].VCPUs {
+			if v.Degraded {
+				continue
+			}
 			quota := v.CapUs * c.cfg.CgroupPeriodUs / c.cfg.PeriodUs
 			if quota < c.cfg.MinQuotaUs {
 				quota = c.cfg.MinQuotaUs
 			}
-			if err := c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err != nil {
-				return err
+			if err := c.withRetry(rep, func() error {
+				return c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs)
+			}); err != nil {
+				v.Degraded = true
+				v.FailedSteps++
+				rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setmax", Err: err})
+				continue
 			}
 			if c.cfg.BurstFraction > 0 {
 				burst := int64(float64(quota) * c.cfg.BurstFraction)
-				if err := c.host.SetBurst(v.VM, v.Index, burst); err != nil {
-					return err
+				if err := c.withRetry(rep, func() error {
+					return c.host.SetBurst(v.VM, v.Index, burst)
+				}); err != nil {
+					v.Degraded = true
+					v.FailedSteps++
+					rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setburst", Err: err})
 				}
 			}
 		}
 	}
-	return nil
 }
 
 // TotalGuaranteeUs returns Σ C_i × vCPUs over all hosted VMs, useful to

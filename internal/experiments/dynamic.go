@@ -42,6 +42,11 @@ type DynamicResult struct {
 	ActiveEnergyJ   float64
 	AlwaysOnEnergyJ float64
 	Migrations      int
+	// DegradedVCPUSteps sums the degraded-vCPU count over all steps (a
+	// vCPU degraded for k periods contributes k) and Faults the recorded
+	// host faults — both zero on a healthy cluster.
+	DegradedVCPUSteps int
+	Faults            int
 }
 
 // Run executes the experiment.
@@ -98,6 +103,9 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 		if err := cl.Step(); err != nil {
 			return nil, err
 		}
+		h := cl.Health()
+		res.DegradedVCPUSteps += h.DegradedVCPUs
+		res.Faults += h.Faults
 		used := cl.UsedNodes()
 		usedSum += int64(used)
 		if used > res.PeakUsedNodes {

@@ -8,6 +8,8 @@ package host
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"vfreq/internal/cgroupfs"
 	"vfreq/internal/dvfs"
@@ -109,6 +111,17 @@ type Machine struct {
 	TickUs int64
 
 	util []float64 // scratch buffer for governor updates
+
+	faultMu sync.Mutex
+	faults  []*pathFault
+}
+
+// pathFault is one armed pseudo-file fault (see FailReads/FailWrites).
+type pathFault struct {
+	op     string // "read" or "write"
+	substr string
+	err    error
+	count  int // remaining injections; <0 = persistent
 }
 
 // New boots a machine from a spec.
@@ -140,7 +153,7 @@ func New(spec Spec) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		spec:    spec,
 		FS:      fs,
 		Sched:   s,
@@ -150,7 +163,60 @@ func New(spec Spec) (*Machine, error) {
 		Meter:   meter,
 		TickUs:  DefaultTickUs,
 		util:    make([]float64, spec.Cores),
-	}, nil
+	}
+	fs.SetFaultHook(m.fileFault)
+	return m, nil
+}
+
+// fileFault is the memfs hook matching accesses against armed faults.
+func (m *Machine) fileFault(op, path string) error {
+	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
+	for i, f := range m.faults {
+		if f.op != op || !strings.Contains(path, f.substr) {
+			continue
+		}
+		if f.count == 0 {
+			continue // exhausted transient fault
+		}
+		if f.count > 0 {
+			f.count--
+			if f.count == 0 {
+				m.faults = append(m.faults[:i], m.faults[i+1:]...)
+			}
+		}
+		return fmt.Errorf("host: %s %s: %w", op, path, f.err)
+	}
+	return nil
+}
+
+// FailReads arms a pseudo-file fault: the next count reads of any path
+// containing substr fail with err (count < 0 makes the fault persistent
+// until ClearFileFaults). This models the /proc and cgroup read races a
+// real host exhibits when vCPU threads die or cgroups vanish mid-access.
+func (m *Machine) FailReads(substr string, err error, count int) {
+	m.addFault("read", substr, err, count)
+}
+
+// FailWrites arms the write-side counterpart of FailReads.
+func (m *Machine) FailWrites(substr string, err error, count int) {
+	m.addFault("write", substr, err, count)
+}
+
+func (m *Machine) addFault(op, substr string, err error, count int) {
+	if count == 0 || err == nil {
+		return
+	}
+	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
+	m.faults = append(m.faults, &pathFault{op: op, substr: substr, err: err, count: count})
+}
+
+// ClearFileFaults disarms every pseudo-file fault.
+func (m *Machine) ClearFileFaults() {
+	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
+	m.faults = nil
 }
 
 // Spec returns the machine's hardware description.

@@ -1,0 +1,67 @@
+package memfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFaultHookInterceptsReadsAndWrites(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddFile("/d/a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddFile("/d/b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	fs.SetFaultHook(func(op, path string) error {
+		if op == "read" && strings.HasSuffix(path, "/a") {
+			return boom
+		}
+		if op == "write" && strings.HasSuffix(path, "/b") {
+			return boom
+		}
+		return nil
+	})
+	if _, err := fs.ReadFile("/d/a"); !errors.Is(err, boom) {
+		t.Fatalf("read fault not injected: %v", err)
+	}
+	if err := fs.WriteFile("/d/b", "x"); !errors.Is(err, boom) {
+		t.Fatalf("write fault not injected: %v", err)
+	}
+	// The unmatched directions still work, and the faulted write left the
+	// file untouched.
+	if got, err := fs.ReadFile("/d/b"); err != nil || got != "2" {
+		t.Fatalf("ReadFile(b) = %q, %v", got, err)
+	}
+	if err := fs.WriteFile("/d/a", "x"); err != nil {
+		t.Fatalf("WriteFile(a) = %v", err)
+	}
+	// Removing the hook restores normal access.
+	fs.SetFaultHook(nil)
+	if _, err := fs.ReadFile("/d/a"); err != nil {
+		t.Fatalf("hook removal ineffective: %v", err)
+	}
+}
+
+func TestFaultHookSeesCleanPaths(t *testing.T) {
+	fs := New()
+	if err := fs.AddFile("/f", "v"); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	fs.SetFaultHook(func(op, path string) error {
+		seen = append(seen, path)
+		return nil
+	})
+	if _, err := fs.ReadFile("//f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "/f" {
+		t.Fatalf("hook saw %v, want [/f]", seen)
+	}
+}

@@ -44,10 +44,36 @@ type node struct {
 	write   WriteFunc
 }
 
+// FaultFunc inspects an access before it happens; a non-nil return
+// aborts the operation with that error. op is "read" or "write". It lets
+// a simulation inject the transient and persistent pseudo-file failures
+// a real kernel produces when threads die or cgroups vanish mid-access.
+type FaultFunc func(op, path string) error
+
 // FS is a concurrency-safe in-memory file tree.
 type FS struct {
-	mu   sync.RWMutex
-	root *node
+	mu    sync.RWMutex
+	root  *node
+	fault FaultFunc
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault hook consulted
+// before every ReadFile and WriteFile.
+func (fs *FS) SetFaultHook(fn FaultFunc) {
+	fs.mu.Lock()
+	fs.fault = fn
+	fs.mu.Unlock()
+}
+
+// checkFault runs the fault hook for one access.
+func (fs *FS) checkFault(op, p string) error {
+	fs.mu.RLock()
+	fn := fs.fault
+	fs.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op, clean(p))
 }
 
 // New returns an empty filesystem containing only the root directory.
@@ -173,6 +199,9 @@ func (fs *FS) addNode(p string, n *node) error {
 
 // ReadFile returns the current content of the file at p.
 func (fs *FS) ReadFile(p string) (string, error) {
+	if err := fs.checkFault("read", p); err != nil {
+		return "", err
+	}
 	fs.mu.RLock()
 	n, err := fs.lookup(p)
 	if err != nil {
@@ -196,6 +225,9 @@ func (fs *FS) ReadFile(p string) (string, error) {
 
 // WriteFile writes data to the file at p.
 func (fs *FS) WriteFile(p, data string) error {
+	if err := fs.checkFault("write", p); err != nil {
+		return err
+	}
 	fs.mu.Lock()
 	n, err := fs.lookup(p)
 	if err != nil {

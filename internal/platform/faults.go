@@ -1,0 +1,223 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the default error returned by injected faults.
+var ErrInjected = errors.New("platform: injected fault")
+
+// FaultSite names one Host call site for fault injection.
+type FaultSite string
+
+// The injectable call sites, one per Host method.
+const (
+	SiteListVMs  FaultSite = "ListVMs"
+	SiteUsage    FaultSite = "UsageUs"
+	SiteSetMax   FaultSite = "SetMax"
+	SiteClearMax FaultSite = "ClearMax"
+	SiteSetBurst FaultSite = "SetBurst"
+	SiteThreadID FaultSite = "ThreadID"
+	SiteLastCPU  FaultSite = "LastCPU"
+	SiteCoreFreq FaultSite = "CoreFreqMHz"
+)
+
+// Sites lists every injectable call site.
+var Sites = []FaultSite{
+	SiteListVMs, SiteUsage, SiteSetMax, SiteClearMax,
+	SiteSetBurst, SiteThreadID, SiteLastCPU, SiteCoreFreq,
+}
+
+// SiteByName resolves a call-site name (as spelled in the constants).
+func SiteByName(name string) (FaultSite, error) {
+	for _, s := range Sites {
+		if string(s) == name {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("platform: unknown fault site %q", name)
+}
+
+// FaultPlan describes when one call site fails. The zero value never
+// fires; combine the fields freely — a call fails when any armed
+// condition matches.
+type FaultPlan struct {
+	// Rate is the independent probability each call fails, in [0, 1].
+	Rate float64
+	// Count fails the next Count matching calls deterministically
+	// (a transient fault: exhausted plans stop firing).
+	Count int
+	// Persistent fails every matching call until the plan is cleared
+	// (a dead vCPU thread or a vanished cgroup).
+	Persistent bool
+	// Err is the error injected; nil means ErrInjected.
+	Err error
+	// Match restricts VM-scoped sites (UsageUs, SetMax, ClearMax,
+	// SetBurst, ThreadID) to particular vCPUs; nil matches all calls.
+	// Sites without a VM operand ignore it.
+	Match func(vm string, vcpu int) bool
+}
+
+// FaultyHost wraps a Host and injects faults per call site: the test
+// double for vCPU threads dying mid-read, cgroups vanishing between
+// enumeration and access, and noisy /proc reads. It is safe for
+// concurrent use.
+type FaultyHost struct {
+	inner Host
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	plans    map[FaultSite]*FaultPlan
+	injected map[FaultSite]int
+	calls    map[FaultSite]int
+}
+
+// WithFaults wraps h; seed drives the Rate randomness so fault sequences
+// are reproducible.
+func WithFaults(h Host, seed int64) *FaultyHost {
+	return &FaultyHost{
+		inner:    h,
+		rng:      rand.New(rand.NewSource(seed)),
+		plans:    map[FaultSite]*FaultPlan{},
+		injected: map[FaultSite]int{},
+		calls:    map[FaultSite]int{},
+	}
+}
+
+// Inner returns the wrapped host.
+func (f *FaultyHost) Inner() Host { return f.inner }
+
+// Plan arms a fault plan on one call site, replacing any previous plan.
+func (f *FaultyHost) Plan(site FaultSite, p FaultPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plans[site] = &p
+}
+
+// Clear disarms the plan on one call site.
+func (f *FaultyHost) Clear(site FaultSite) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.plans, site)
+}
+
+// ClearAll disarms every plan.
+func (f *FaultyHost) ClearAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plans = map[FaultSite]*FaultPlan{}
+}
+
+// Injected returns how many faults were injected at a site.
+func (f *FaultyHost) Injected(site FaultSite) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected[site]
+}
+
+// Calls returns how many calls reached a site (injected or not).
+func (f *FaultyHost) Calls(site FaultSite) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[site]
+}
+
+// fail decides whether this call fails, returning the injected error.
+func (f *FaultyHost) fail(site FaultSite, vm string, vcpu int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[site]++
+	p := f.plans[site]
+	if p == nil {
+		return nil
+	}
+	if p.Match != nil && !p.Match(vm, vcpu) {
+		return nil
+	}
+	fire := p.Persistent
+	if !fire && p.Count > 0 {
+		p.Count--
+		fire = true
+	}
+	if !fire && p.Rate > 0 && f.rng.Float64() < p.Rate {
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	f.injected[site]++
+	if p.Err != nil {
+		return fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, p.Err)
+	}
+	return fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, ErrInjected)
+}
+
+// Node implements Host (never injected: node info is static).
+func (f *FaultyHost) Node() NodeInfo { return f.inner.Node() }
+
+// ListVMs implements Host.
+func (f *FaultyHost) ListVMs() ([]VMInfo, error) {
+	if err := f.fail(SiteListVMs, "", -1); err != nil {
+		return nil, err
+	}
+	return f.inner.ListVMs()
+}
+
+// UsageUs implements Host.
+func (f *FaultyHost) UsageUs(vm string, vcpu int) (int64, error) {
+	if err := f.fail(SiteUsage, vm, vcpu); err != nil {
+		return 0, err
+	}
+	return f.inner.UsageUs(vm, vcpu)
+}
+
+// SetMax implements Host.
+func (f *FaultyHost) SetMax(vm string, vcpu int, quotaUs, periodUs int64) error {
+	if err := f.fail(SiteSetMax, vm, vcpu); err != nil {
+		return err
+	}
+	return f.inner.SetMax(vm, vcpu, quotaUs, periodUs)
+}
+
+// ClearMax implements Host.
+func (f *FaultyHost) ClearMax(vm string, vcpu int) error {
+	if err := f.fail(SiteClearMax, vm, vcpu); err != nil {
+		return err
+	}
+	return f.inner.ClearMax(vm, vcpu)
+}
+
+// SetBurst implements Host.
+func (f *FaultyHost) SetBurst(vm string, vcpu int, burstUs int64) error {
+	if err := f.fail(SiteSetBurst, vm, vcpu); err != nil {
+		return err
+	}
+	return f.inner.SetBurst(vm, vcpu, burstUs)
+}
+
+// ThreadID implements Host.
+func (f *FaultyHost) ThreadID(vm string, vcpu int) (int, error) {
+	if err := f.fail(SiteThreadID, vm, vcpu); err != nil {
+		return 0, err
+	}
+	return f.inner.ThreadID(vm, vcpu)
+}
+
+// LastCPU implements Host.
+func (f *FaultyHost) LastCPU(tid int) (int, error) {
+	if err := f.fail(SiteLastCPU, "", tid); err != nil {
+		return 0, err
+	}
+	return f.inner.LastCPU(tid)
+}
+
+// CoreFreqMHz implements Host.
+func (f *FaultyHost) CoreFreqMHz(core int) (int64, error) {
+	if err := f.fail(SiteCoreFreq, "", core); err != nil {
+		return 0, err
+	}
+	return f.inner.CoreFreqMHz(core)
+}

@@ -1,0 +1,149 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"vfreq/internal/vm"
+)
+
+func newFaultySim(t *testing.T) (*FaultyHost, *Sim) {
+	t.Helper()
+	s, mgr := newSim(t)
+	if _, err := mgr.Provision("a", vm.Small(), nil); err != nil {
+		t.Fatal(err)
+	}
+	return WithFaults(s, 1), s
+}
+
+func TestFaultyHostZeroPlanNeverFires(t *testing.T) {
+	fh, _ := newFaultySim(t)
+	fh.Plan(SiteUsage, FaultPlan{})
+	for i := 0; i < 20; i++ {
+		if _, err := fh.UsageUs("a", 0); err != nil {
+			t.Fatalf("zero plan fired: %v", err)
+		}
+	}
+	if fh.Injected(SiteUsage) != 0 || fh.Calls(SiteUsage) != 20 {
+		t.Fatalf("injected/calls = %d/%d", fh.Injected(SiteUsage), fh.Calls(SiteUsage))
+	}
+}
+
+func TestFaultyHostCountIsTransient(t *testing.T) {
+	fh, _ := newFaultySim(t)
+	fh.Plan(SiteUsage, FaultPlan{Count: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := fh.UsageUs("a", 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want injected", i, err)
+		}
+	}
+	if _, err := fh.UsageUs("a", 0); err != nil {
+		t.Fatalf("exhausted plan still fires: %v", err)
+	}
+	if fh.Injected(SiteUsage) != 2 {
+		t.Fatalf("injected = %d, want 2", fh.Injected(SiteUsage))
+	}
+}
+
+func TestFaultyHostPersistentUntilCleared(t *testing.T) {
+	fh, _ := newFaultySim(t)
+	custom := errors.New("vcpu thread died")
+	fh.Plan(SiteSetMax, FaultPlan{Persistent: true, Err: custom})
+	for i := 0; i < 5; i++ {
+		if err := fh.SetMax("a", 0, 10_000, 100_000); !errors.Is(err, custom) {
+			t.Fatalf("err = %v, want custom persistent error", err)
+		}
+	}
+	fh.Clear(SiteSetMax)
+	if err := fh.SetMax("a", 0, 10_000, 100_000); err != nil {
+		t.Fatalf("cleared plan still fires: %v", err)
+	}
+}
+
+func TestFaultyHostMatchScopesInjection(t *testing.T) {
+	fh, _ := newFaultySim(t)
+	fh.Plan(SiteUsage, FaultPlan{
+		Persistent: true,
+		Match:      func(vm string, vcpu int) bool { return vcpu == 1 },
+	})
+	if _, err := fh.UsageUs("a", 0); err != nil {
+		t.Fatalf("unmatched vCPU failed: %v", err)
+	}
+	if _, err := fh.UsageUs("a", 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched vCPU err = %v, want injected", err)
+	}
+}
+
+func TestFaultyHostRateIsReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		s, mgr := newSim(t)
+		if _, err := mgr.Provision("a", vm.Small(), nil); err != nil {
+			t.Fatal(err)
+		}
+		fh := WithFaults(s, seed)
+		fh.Plan(SiteUsage, FaultPlan{Rate: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			_, err := fh.UsageUs("a", 0)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestFaultyHostPassesThrough(t *testing.T) {
+	fh, s := newFaultySim(t)
+	if fh.Inner() != s {
+		t.Fatal("Inner() lost the wrapped host")
+	}
+	if fh.Node() != s.Node() {
+		t.Fatal("Node() differs from inner host")
+	}
+	vms, err := fh.ListVMs()
+	if err != nil || len(vms) != 1 || vms[0].Name != "a" {
+		t.Fatalf("ListVMs = %v, %v", vms, err)
+	}
+	tid, err := fh.ThreadID("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.LastCPU(tid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.CoreFreqMHz(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.SetBurst("a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.ClearMax("a", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteByName(t *testing.T) {
+	for _, s := range Sites {
+		got, err := SiteByName(string(s))
+		if err != nil || got != s {
+			t.Fatalf("SiteByName(%q) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := SiteByName("bogus"); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}

@@ -75,6 +75,16 @@ func (s *Series) MedianRange(from, to float64) float64 {
 	return (vals[mid-1] + vals[mid]) / 2
 }
 
+// Sum returns the sum of all values — for counter-like series (faults,
+// degraded vCPUs per period) this is the series' cumulative total.
+func (s *Series) Sum() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}
+
 // Variance returns the population variance of the values.
 func (s *Series) Variance() float64 {
 	if len(s.Values) == 0 {
@@ -184,6 +194,21 @@ func (r *Recorder) Record(name string, t, v float64) {
 		r.order = append(r.order, name)
 	}
 	s.Add(t, v)
+}
+
+// RecordAll appends one point per named value at a shared timestamp, in
+// sorted name order so first-use series creation is deterministic. It is
+// the natural sink for per-step status structs (e.g. a controller's
+// degradation report fanned out as time series).
+func (r *Recorder) RecordAll(t float64, values map[string]float64) {
+	names := make([]string, 0, len(values))
+	for n := range values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Record(n, t, values[n])
+	}
 }
 
 // Series returns the named series, or nil.

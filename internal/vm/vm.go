@@ -156,6 +156,75 @@ func (mg *Manager) Provision(name string, tpl Template, srcs []workload.Source) 
 	return inst, nil
 }
 
+// Reconfigure applies a live template change to a running instance, the
+// operation adaptive resource managers (ADARES-style) perform
+// continuously: a frequency or memory change updates the template in
+// place, and a vCPU-count change grows the instance (creating vCPU
+// cgroups and threads; srcs supplies the workloads of the NEW vCPUs and
+// may be nil for idle ones) or shrinks it (stopping the trailing threads
+// and removing their cgroups). The instance keeps running throughout —
+// existing vCPU threads, their usage counters and their workload state
+// are untouched.
+func (mg *Manager) Reconfigure(name string, tpl Template, srcs []workload.Source) error {
+	inst, ok := mg.instances[name]
+	if !ok {
+		return fmt.Errorf("vm: no instance %q", name)
+	}
+	if err := tpl.Validate(); err != nil {
+		return err
+	}
+	if tpl.FreqMHz > mg.machine.Spec().MaxMHz {
+		return fmt.Errorf("vm: template frequency %d MHz exceeds node F_MAX %d MHz",
+			tpl.FreqMHz, mg.machine.Spec().MaxMHz)
+	}
+	old := len(inst.vcpus)
+	grow := tpl.VCPUs - old
+	if grow > 0 {
+		if srcs == nil {
+			srcs = make([]workload.Source, grow)
+			for i := range srcs {
+				srcs[i] = workload.Idle()
+			}
+		}
+		if len(srcs) != grow {
+			return fmt.Errorf("vm: %d workload sources for %d new vCPUs", len(srcs), grow)
+		}
+		for j := old; j < tpl.VCPUs; j++ {
+			rel := VCPUCgroup(name, j)
+			if _, err := mg.machine.Cgroups.CreateGroup(rel); err != nil {
+				return err
+			}
+			src := srcs[j-old]
+			th, err := mg.machine.StartThread(rel, fmt.Sprintf("CPU %d/KVM", j), src.Demand)
+			if err != nil {
+				return err
+			}
+			inst.cycles = append(inst.cycles, 0)
+			inst.sources = append(inst.sources, src)
+			j := j
+			th.OnRun = func(nowUs, ranUs, freqMHz int64) {
+				inst.cycles[j] += ranUs * freqMHz
+				src.Account(nowUs, ranUs, freqMHz)
+			}
+			inst.vcpus = append(inst.vcpus, th)
+		}
+	} else if grow < 0 {
+		for j := tpl.VCPUs; j < old; j++ {
+			if err := mg.machine.StopThread(inst.vcpus[j]); err != nil {
+				return err
+			}
+			if err := mg.machine.Cgroups.RemoveGroup(VCPUCgroup(name, j)); err != nil {
+				return err
+			}
+		}
+		inst.vcpus = inst.vcpus[:tpl.VCPUs]
+		inst.cycles = inst.cycles[:tpl.VCPUs]
+		inst.sources = inst.sources[:tpl.VCPUs]
+	}
+	inst.template = tpl
+	return nil
+}
+
 // Destroy removes an instance, its threads and its cgroups.
 func (mg *Manager) Destroy(name string) error {
 	inst, ok := mg.instances[name]

@@ -129,6 +129,11 @@ type (
 	Config = core.Config
 	// Controller runs the six-stage virtual-frequency control loop.
 	Controller = core.Controller
+	// StepReport describes one Step's degradation, churn and timings;
+	// see Controller.LastReport.
+	StepReport = core.StepReport
+	// Fault is one recorded host failure inside a Step.
+	Fault = core.Fault
 	// Host is the platform interface the controller drives.
 	Host = platform.Host
 	// NodeInfo describes the controlled node.
@@ -136,6 +141,19 @@ type (
 	// VMInfo describes one hosted VM.
 	VMInfo = platform.VMInfo
 )
+
+// Fault injection: wrap any Host to test controller robustness.
+type (
+	// FaultyHost injects failures per Host call site.
+	FaultyHost = platform.FaultyHost
+	// FaultPlan configures when a call site fails.
+	FaultPlan = platform.FaultPlan
+	// FaultSite names a Host call site.
+	FaultSite = platform.FaultSite
+)
+
+// WithFaults wraps a host with a reproducible fault injector.
+func WithFaults(h Host, seed int64) *FaultyHost { return platform.WithFaults(h, seed) }
 
 // DefaultConfig returns the paper's evaluation configuration (§IV-A1).
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -221,6 +239,8 @@ type (
 	ClusterConfig = cluster.Config
 	// ClusterNode is one managed machine.
 	ClusterNode = cluster.Node
+	// ClusterHealth aggregates per-node degradation after a Step.
+	ClusterHealth = cluster.Health
 )
 
 // NewCluster boots one simulated machine per spec under one manager.
