@@ -298,6 +298,7 @@ func dynamicTable() error {
 		MeanLifetimeSteps: 10,
 		Steps:             60,
 		Seed:              42,
+		FailThreshold:     3,
 	}
 	fmt.Println("Dynamic cluster (Poisson arrivals, exponential lifetimes, idle nodes off):")
 	fmt.Printf("  %-28s %-9s %-9s %-10s %-12s %-12s\n",
@@ -321,6 +322,10 @@ func dynamicTable() error {
 		if res.Faults > 0 || res.DegradedVCPUSteps > 0 {
 			fmt.Printf("    degradation: %d faults, %d degraded vCPU-steps\n",
 				res.Faults, res.DegradedVCPUSteps)
+		}
+		if res.NodeFailureSteps > 0 || res.Evacuations > 0 {
+			fmt.Printf("    failures: %d node-failure steps, %d VMs evacuated, %d stranded VM-steps\n",
+				res.NodeFailureSteps, res.Evacuations, res.StrandedVMSteps)
 		}
 	}
 	return nil

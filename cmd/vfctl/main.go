@@ -8,6 +8,14 @@
 //	vfctl -config scenario.json [-csv out.csv]
 //	vfctl -example            # print a scenario skeleton and exit
 //
+// Crash recovery: with -checkpoint the controller persists its state
+// (credits, caps, consumption histories) atomically every
+// -checkpoint-every periods, plus once at clean exit; -resume restores
+// from that file before the first period, revalidating against the live
+// host. A missing checkpoint degrades -resume into a cold start.
+//
+//	vfctl -config scenario.json -checkpoint state.json -resume
+//
 // Linux mode drives a real host through cgroup v2 (requires root and a
 // libvirt-style machine.slice). VM virtual frequencies come from the same
 // scenario file; the controller then applies real cpu.max quotas every
@@ -18,6 +26,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -95,6 +104,9 @@ func main() {
 	cfgPath := flag.String("config", "", "scenario JSON file")
 	csvPath := flag.String("csv", "", "write the per-period CSV here instead of stdout")
 	snapPath := flag.String("snapshot", "", "write the final controller state as JSON here")
+	ckptPath := flag.String("checkpoint", "", "persist controller checkpoints to this file for crash recovery")
+	ckptEvery := flag.Int64("checkpoint-every", 1, "periods between checkpoints (with -checkpoint)")
+	resume := flag.Bool("resume", false, "restore controller state from -checkpoint before the first period")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	linux := flag.Bool("linux", false, "drive the real host via cgroup v2 instead of the simulator")
 	flag.Parse()
@@ -118,14 +130,48 @@ func main() {
 	if sc.DurationS <= 0 {
 		fatal(fmt.Errorf("scenario: duration_s must be positive"))
 	}
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
 	if *linux {
-		err = runLinux(sc)
+		err = runLinux(sc, ck)
 	} else {
-		err = runSim(sc, *csvPath, *snapPath)
+		err = runSim(sc, *csvPath, *snapPath, ck)
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// checkpointOpts carries the crash-recovery flags.
+type checkpointOpts struct {
+	path   string
+	every  int64
+	resume bool
+}
+
+// arm attaches (and optionally restores from) the checkpoint file. It
+// returns whether the controller resumed from a previous incarnation.
+func (ck checkpointOpts) arm(ctrl *core.Controller) (bool, error) {
+	if ck.path == "" {
+		return false, nil
+	}
+	store := platform.FileStore{Path: ck.path}
+	if ck.resume {
+		rr, err := ctrl.RestoreFromStore(store)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "vfctl: %s\n", rr)
+			return true, nil
+		case errors.Is(err, platform.ErrNoCheckpoint):
+			fmt.Fprintln(os.Stderr, "vfctl: no checkpoint yet, cold-starting")
+		default:
+			return false, err
+		}
+	}
+	ctrl.AttachStore(store)
+	return false, nil
 }
 
 func fatal(err error) {
@@ -253,7 +299,7 @@ func faultHost(sc Scenario, h platform.Host) (platform.Host, error) {
 	return fh, nil
 }
 
-func runSim(sc Scenario, csvPath, snapPath string) error {
+func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 	spec, err := nodeSpec(sc)
 	if err != nil {
 		return err
@@ -284,8 +330,15 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := core.New(h, controllerConfig(sc))
+	cfg := controllerConfig(sc)
+	if ck.path != "" {
+		cfg.CheckpointEvery = ck.every
+	}
+	ctrl, err := core.New(h, cfg)
 	if err != nil {
+		return err
+	}
+	if _, err := ck.arm(ctrl); err != nil {
 		return err
 	}
 
@@ -302,7 +355,7 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 	for _, v := range sc.VMs {
 		fmt.Fprintf(out, ",%s_mhz,%s_credit", v.Name, v.Name)
 	}
-	fmt.Fprintln(out, ",market_us,energy_j,degraded,faults")
+	fmt.Fprintln(out, ",market_us,energy_j,degraded,faults,overrun,recovered")
 	period := ctrl.Config().PeriodUs
 	health := trace.NewRecorder()
 	var prevEnergy float64
@@ -315,7 +368,7 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 		if err := ctrl.Step(); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%d", step+1)
+		fmt.Fprintf(out, "%d", ctrl.Steps())
 		var caps int64
 		for _, v := range sc.VMs {
 			inst := mgr.Get(v.Name)
@@ -332,13 +385,19 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 		market := ctrl.CapacityUs() - caps
 		e := machine.Meter.Joules()
 		rep := ctrl.LastReport()
-		fmt.Fprintf(out, ",%d,%.0f,%d,%d\n", market, e-prevEnergy,
-			rep.DegradedVCPUs, rep.FaultCount())
+		overrun := 0
+		if rep.Overrun {
+			overrun = 1
+		}
+		fmt.Fprintf(out, ",%d,%.0f,%d,%d,%d,%d\n", market, e-prevEnergy,
+			rep.DegradedVCPUs, rep.FaultCount(), overrun, rep.Recovered)
 		prevEnergy = e
 		health.RecordAll(float64(step+1), map[string]float64{
 			"degraded_vcpus": float64(rep.DegradedVCPUs),
 			"faults":         float64(rep.FaultCount()),
 			"retries":        float64(rep.Retries),
+			"overruns":       float64(overrun),
+			"recovered":      float64(rep.Recovered),
 		})
 	}
 	fmt.Fprintf(os.Stderr, "vfctl: %d periods, controller avg step %v\n",
@@ -358,12 +417,19 @@ func runSim(sc Scenario, csvPath, snapPath string) error {
 			return err
 		}
 	}
+	if ck.path != "" {
+		// A final checkpoint so a later -resume continues from the very
+		// last period, not the last interval boundary.
+		if err := ctrl.Checkpoint(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // runLinux drives a real host: same controller, real files, wall-clock
 // periods.
-func runLinux(sc Scenario) error {
+func runLinux(sc Scenario, ck checkpointOpts) error {
 	freqs := map[string]int64{}
 	for _, v := range sc.VMs {
 		freqs[v.Name] = v.FreqMHz
@@ -372,9 +438,20 @@ func runLinux(sc Scenario) error {
 	if err != nil {
 		return fmt.Errorf("linux backend: %w", err)
 	}
-	ctrl, err := core.New(h, controllerConfig(sc))
+	cfg := controllerConfig(sc)
+	if ck.path != "" {
+		cfg.CheckpointEvery = ck.every
+	}
+	ctrl, err := core.New(h, cfg)
 	if err != nil {
 		return err
+	}
+	resumed, err := ck.arm(ctrl)
+	if err != nil {
+		return err
+	}
+	if resumed {
+		fmt.Printf("vfctl: resumed from checkpoint at step %d\n", ctrl.Steps())
 	}
 	period := time.Duration(ctrl.Config().PeriodUs) * time.Microsecond
 	fmt.Printf("vfctl: controlling %d-core node %s (F_MAX %d MHz), period %v\n",
@@ -401,6 +478,11 @@ func runLinux(sc Scenario) error {
 		// Sleep p − spent, as §III-B6 prescribes.
 		if spent := time.Since(start); spent < period {
 			time.Sleep(period - spent)
+		}
+	}
+	if ck.path != "" {
+		if err := ctrl.Checkpoint(); err != nil {
+			return err
 		}
 	}
 	return nil

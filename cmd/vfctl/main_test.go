@@ -109,7 +109,7 @@ func TestRunSimProducesCSV(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.csv")
 	snap := filepath.Join(dir, "snap.json")
-	if err := runSim(sc, out, snap); err != nil {
+	if err := runSim(sc, out, snap, checkpointOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// The snapshot is valid JSON with both VMs.
@@ -147,7 +147,7 @@ func TestRunSimValidatesVMs(t *testing.T) {
 		Node: "chetemi", DurationS: 1, Control: true,
 		VMs: []ScenarioVM{{Name: "bad", VCPUs: 0, FreqMHz: 500, Workload: "busy"}},
 	}
-	if err := runSim(sc, filepath.Join(t.TempDir(), "x.csv"), ""); err == nil {
+	if err := runSim(sc, filepath.Join(t.TempDir(), "x.csv"), "", checkpointOpts{}); err == nil {
 		t.Fatal("invalid VM accepted")
 	}
 }

@@ -29,6 +29,15 @@ type Config struct {
 	Policy placement.Policy
 	// Algorithm selects the admission packer (defaults to BestFit).
 	Algorithm placement.Algorithm
+	// FailThreshold is the number of consecutive failed Steps — the
+	// node's host unreachable for the whole period, its controller
+	// recovering a panic, or every tracked vCPU degraded (the host
+	// answers enumeration but no measurement or quota write succeeds)
+	// — after which the node is marked failed: it is excluded from
+	// admission and its VMs are evacuated to the surviving nodes. A
+	// failed node is re-admitted after one clean Step. 0 disables
+	// failure detection.
+	FailThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +65,14 @@ type Node struct {
 	// LastErr is the node-level error of the most recent Step, set
 	// only when the node's host was unreachable for the whole period.
 	LastErr error
+	// FailedSteps counts consecutive Steps that failed at node level
+	// (LastErr set, or the controller recovered a panic); 0 after a
+	// clean Step.
+	FailedSteps int
+	// Failed marks a node past Config.FailThreshold: it accepts no new
+	// placements and its VMs are being evacuated. The mark clears after
+	// one clean Step.
+	Failed bool
 
 	deployed map[string]*deployment
 	energyJ  float64 // energy accrued while hosting at least one VM
@@ -113,6 +130,10 @@ type Cluster struct {
 	nodes      []*Node
 	migrations int
 	locations  map[string]int // VM name → node index
+
+	evacuations   int // cumulative VMs moved off failed nodes
+	lastEvacuated int // VMs evacuated during the last Step
+	lastStranded  int // VMs left on failed nodes during the last Step
 }
 
 // New boots one machine per spec.
@@ -154,6 +175,10 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 
 // Migrations returns the number of VM migrations performed so far.
 func (c *Cluster) Migrations() int { return c.migrations }
+
+// Evacuations returns the number of VMs moved off failed nodes so far
+// (every evacuation is also counted in Migrations).
+func (c *Cluster) Evacuations() int { return c.evacuations }
 
 // Locate returns the node index hosting the named VM, or -1.
 func (c *Cluster) Locate(name string) int {
@@ -208,7 +233,7 @@ func (c *Cluster) Deploy(name string, tpl vm.Template, sources []workload.Source
 	}
 	chosen := -1
 	for i, n := range c.nodes {
-		if !c.fits(n, tpl) {
+		if n.Failed || !c.fits(n, tpl) {
 			continue
 		}
 		switch c.cfg.Algorithm {
@@ -386,7 +411,7 @@ func (c *Cluster) Rebalance() (int, error) {
 			}
 			target := -1
 			for j := range c.nodes {
-				if j == idx {
+				if j == idx || c.nodes[j].Failed {
 					continue
 				}
 				if c.fits(c.nodes[j], n.deployed[name].template) {
@@ -436,6 +461,12 @@ func (c *Cluster) smallestVM(n *Node) string {
 // unreachable for the period does not stop the other nodes from being
 // controlled — its error is recorded on the node and returned joined
 // with any others after every node has stepped.
+//
+// When Config.FailThreshold is positive, Step additionally tracks
+// consecutive node-level failures: a node past the threshold is marked
+// failed, excluded from admission, and its VMs are evacuated to the
+// surviving nodes under the same Eq. 7 constraint as initial placement.
+// A failed node re-admits itself after one clean Step.
 func (c *Cluster) Step() error {
 	period := c.cfg.Controller.PeriodUs
 	var errs []error
@@ -446,13 +477,66 @@ func (c *Cluster) Step() error {
 		if n.LastErr != nil {
 			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.Index, n.LastErr))
 		}
+		rep := n.LastReport
+		if n.LastErr != nil || rep.Panicked ||
+			(rep.VCPUs > 0 && rep.DegradedVCPUs == rep.VCPUs) {
+			n.FailedSteps++
+		} else {
+			n.FailedSteps = 0
+			n.Failed = false // the host answers again: re-admit
+		}
 		j := n.Machine.Meter.Joules()
 		if len(n.deployed) > 0 {
 			n.energyJ += j - n.lastJ
 		}
 		n.lastJ = j
 	}
+	c.lastEvacuated, c.lastStranded = 0, 0
+	if c.cfg.FailThreshold > 0 {
+		for _, n := range c.nodes {
+			if n.FailedSteps >= c.cfg.FailThreshold {
+				n.Failed = true
+			}
+			if n.Failed && len(n.deployed) > 0 {
+				ev, str := c.evacuate(n)
+				c.lastEvacuated += ev
+				c.lastStranded += str
+			}
+		}
+	}
 	return errors.Join(errs...)
+}
+
+// evacuate moves every VM off a failed node, choosing BestFit targets
+// among the surviving nodes so the Eq. 7 feasibility of every target is
+// preserved. VMs with no feasible target (or whose migration fails) stay
+// stranded on the failed node; because the node stays marked failed,
+// they are retried every Step until capacity appears or the node
+// recovers.
+func (c *Cluster) evacuate(n *Node) (evacuated, stranded int) {
+	for _, name := range n.VMs() {
+		d := n.deployed[name]
+		target := -1
+		for j, t := range c.nodes {
+			if j == n.Index || t.Failed || !c.fits(t, d.template) {
+				continue
+			}
+			if target == -1 || c.remaining(t) < c.remaining(c.nodes[target]) {
+				target = j
+			}
+		}
+		if target == -1 {
+			stranded++
+			continue
+		}
+		if err := c.Migrate(name, target); err != nil {
+			stranded++
+			continue
+		}
+		evacuated++
+	}
+	c.evacuations += evacuated
+	return evacuated, stranded
 }
 
 // Health summarises the degradation of the last Step across the cluster.
@@ -463,9 +547,20 @@ type Health struct {
 	// Faults is the total fault count of the last Step.
 	Faults int
 	// DegradedNodes counts nodes reporting any degradation, and
-	// FailedNodes those whose whole host was unreachable.
+	// FailedNodes those whose whole host was unreachable or that are
+	// marked failed past Config.FailThreshold.
 	DegradedNodes int
 	FailedNodes   int
+	// Overruns counts nodes whose controller crossed its step-deadline
+	// budget during the last Step.
+	Overruns int
+	// Recovered counts vCPUs whose failure counters reset during the
+	// last Step after the configured clean streak.
+	Recovered int
+	// EvacuatedVMs counts VMs moved off failed nodes during the last
+	// Step; StrandedVMs those left behind for lack of a feasible target.
+	EvacuatedVMs int
+	StrandedVMs  int
 }
 
 // Health aggregates the per-node degradation reports of the last Step.
@@ -479,10 +574,16 @@ func (c *Cluster) Health() Health {
 		if rep.Degraded() {
 			h.DegradedNodes++
 		}
-		if n.LastErr != nil {
+		if n.LastErr != nil || n.Failed {
 			h.FailedNodes++
 		}
+		if rep.Overrun {
+			h.Overruns++
+		}
+		h.Recovered += rep.Recovered
 	}
+	h.EvacuatedVMs = c.lastEvacuated
+	h.StrandedVMs = c.lastStranded
 	return h
 }
 
@@ -496,9 +597,17 @@ func (c *Cluster) RecordHealth(rec *trace.Recorder, tS float64) {
 		"cluster_degraded_vcpus": float64(h.DegradedVCPUs),
 		"cluster_faults":         float64(h.Faults),
 		"cluster_failed_nodes":   float64(h.FailedNodes),
+		"cluster_overruns":       float64(h.Overruns),
+		"cluster_evacuated_vms":  float64(h.EvacuatedVMs),
+		"cluster_stranded_vms":   float64(h.StrandedVMs),
 	}
 	for _, n := range c.nodes {
 		values[fmt.Sprintf("node%d_degraded", n.Index)] = float64(n.LastReport.DegradedVCPUs)
+		overrun := 0.0
+		if n.LastReport.Overrun {
+			overrun = 1
+		}
+		values[fmt.Sprintf("node%d_overrun", n.Index)] = overrun
 	}
 	rec.RecordAll(tS, values)
 }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"vfreq/internal/platform"
+)
+
+// AttachStore attaches a checkpoint store. When Config.CheckpointEvery is
+// positive, Step persists a checkpoint every that many completed
+// iterations; a failed save is recorded as a "checkpoint" fault in the
+// StepReport instead of aborting the step.
+func (c *Controller) AttachStore(s platform.Store) { c.store = s }
+
+// Checkpoint persists the current state to the attached store now,
+// regardless of Config.CheckpointEvery. Use it for a clean shutdown.
+func (c *Controller) Checkpoint() error {
+	if c.store == nil {
+		return fmt.Errorf("core: no checkpoint store attached")
+	}
+	data, err := c.Snapshot().JSON()
+	if err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	return c.store.Save(data)
+}
+
+// maybeCheckpoint persists a checkpoint when the interval elapses.
+func (c *Controller) maybeCheckpoint(rep *StepReport) {
+	if c.store == nil || c.cfg.CheckpointEvery <= 0 || c.steps%c.cfg.CheckpointEvery != 0 {
+		return
+	}
+	if err := c.Checkpoint(); err != nil {
+		rep.record(Fault{VCPU: -1, Stage: "checkpoint", Op: "save", Err: err})
+		return
+	}
+	rep.Checkpointed = true
+}
+
+// RestoreReport describes what a Restore did with each VM it found in the
+// checkpoint or on the live host.
+type RestoreReport struct {
+	// CheckpointStep is the step counter carried by the checkpoint; the
+	// controller resumes from it.
+	CheckpointStep int64
+	// Adopted lists VMs restored from the checkpoint with their credit
+	// wallets, caps and consumption histories intact.
+	Adopted []string
+	// ColdStarted lists VMs present on the host but absent from the
+	// checkpoint (arrived while the controller was down), registered
+	// fresh.
+	ColdStarted []string
+	// Dropped lists checkpoint VMs no longer present on the host.
+	Dropped []string
+	// Deferred lists live VMs whose registration failed (host read
+	// error or invalid template); the next Step retries them through
+	// the normal reconcile path.
+	Deferred []string
+	// AdoptedQuotas counts vCPUs whose live cpu.max quota differed from
+	// what the controller would have written and was adopted as the
+	// current cap instead of being overwritten blindly.
+	AdoptedQuotas int
+}
+
+// String summarises the restore in one line.
+func (r RestoreReport) String() string {
+	return fmt.Sprintf("restored step %d: %d adopted, %d cold-started, %d dropped, %d deferred, %d quotas adopted",
+		r.CheckpointStep, len(r.Adopted), len(r.ColdStarted), len(r.Dropped), len(r.Deferred), r.AdoptedQuotas)
+}
+
+// Restore rebuilds the controller state from a decoded checkpoint,
+// revalidating everything against the live host:
+//
+//   - the node shape (cores, F_MAX) and control period must match the
+//     checkpoint, otherwise the credits and guarantees are meaningless;
+//   - VMs present in both checkpoint and host are adopted with their
+//     credits, caps and histories; their usage baselines are re-read live
+//     (the counters kept moving while the controller was down);
+//   - VMs only on the host are cold-started, adopting any cpu.max quota
+//     a previous incarnation left behind (via the optional
+//     platform.QuotaReader capability) instead of resetting it;
+//   - VMs only in the checkpoint are dropped.
+//
+// Restore is only valid on a fresh controller that has not stepped yet.
+func (c *Controller) Restore(s Snapshot) (RestoreReport, error) {
+	var rr RestoreReport
+	if c.steps > 0 || len(c.vms) > 0 {
+		return rr, fmt.Errorf("core: restore into a used controller (step %d, %d VMs)",
+			c.steps, len(c.vms))
+	}
+	if s.Version != SnapshotVersion {
+		return rr, fmt.Errorf("core: checkpoint version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.Cores != c.node.Cores || s.MaxFreqMHz != c.node.MaxFreqMHz {
+		return rr, fmt.Errorf("core: checkpoint node shape %d cores @ %d MHz, live host %d cores @ %d MHz",
+			s.Cores, s.MaxFreqMHz, c.node.Cores, c.node.MaxFreqMHz)
+	}
+	if s.Node != "" && s.Node != c.node.Name {
+		return rr, fmt.Errorf("core: checkpoint from node %q, live host is %q", s.Node, c.node.Name)
+	}
+	if s.PeriodUs != c.cfg.PeriodUs {
+		return rr, fmt.Errorf("core: checkpoint period %d us, configured %d us", s.PeriodUs, c.cfg.PeriodUs)
+	}
+	infos, err := c.host.ListVMs()
+	if err != nil {
+		return rr, fmt.Errorf("core: listing VMs for restore: %w", err)
+	}
+	live := map[string]platform.VMInfo{}
+	for _, info := range infos {
+		live[info.Name] = info
+	}
+	rr.CheckpointStep = s.Step
+	deferred := map[string]bool{}
+	rep := &StepReport{} // scratch for retry accounting during restore reads
+
+	// Adopt checkpointed VMs still present, in checkpoint order so the
+	// auction iteration order survives the restart.
+	for _, vs := range s.VMs {
+		info, ok := live[vs.Name]
+		if !ok {
+			rr.Dropped = append(rr.Dropped, vs.Name)
+			continue
+		}
+		if err := c.validFreq(info.FreqMHz); err != nil {
+			deferred[vs.Name] = true
+			continue
+		}
+		st := &VMState{Info: info, GuaranteeUs: c.guarantee(info.FreqMHz), CreditUs: vs.CreditUs}
+		if c.cfg.CreditCapPeriods > 0 {
+			capC := c.cfg.CreditCapPeriods * st.GuaranteeUs * int64(info.VCPUs)
+			if st.CreditUs > capC {
+				st.CreditUs = capC
+			}
+		}
+		ok = true
+		for j := 0; j < info.VCPUs; j++ {
+			var v *VCPUState
+			var adopted bool
+			var err error
+			if j < len(vs.VCPUs) {
+				v, adopted, err = c.restoreVCPU(rep, vs.Name, vs.VCPUs[j])
+			} else {
+				// The VM grew while the controller was down.
+				v, err = c.newVCPUState(rep, st, vs.Name, j)
+			}
+			if err != nil {
+				ok = false
+				break
+			}
+			if adopted {
+				rr.AdoptedQuotas++
+			}
+			st.VCPUs = append(st.VCPUs, v)
+		}
+		if !ok {
+			deferred[vs.Name] = true
+			continue
+		}
+		c.vms[vs.Name] = st
+		c.order = append(c.order, vs.Name)
+		rr.Adopted = append(rr.Adopted, vs.Name)
+	}
+
+	// Cold-start VMs that arrived while the controller was down.
+	for _, info := range infos {
+		if _, ok := c.vms[info.Name]; ok || deferred[info.Name] {
+			continue
+		}
+		if err := c.validFreq(info.FreqMHz); err != nil {
+			deferred[info.Name] = true
+			continue
+		}
+		st := &VMState{Info: info, GuaranteeUs: c.guarantee(info.FreqMHz)}
+		ok := true
+		for j := 0; j < info.VCPUs; j++ {
+			v, err := c.newVCPUState(rep, st, info.Name, j)
+			if err != nil {
+				ok = false
+				break
+			}
+			if c.adoptQuota(v) {
+				rr.AdoptedQuotas++
+			}
+			st.VCPUs = append(st.VCPUs, v)
+		}
+		if !ok {
+			deferred[info.Name] = true
+			continue
+		}
+		c.vms[info.Name] = st
+		c.order = append(c.order, info.Name)
+		rr.ColdStarted = append(rr.ColdStarted, info.Name)
+	}
+
+	for name := range deferred {
+		rr.Deferred = append(rr.Deferred, name)
+	}
+	c.steps = s.Step
+	return rr, nil
+}
+
+// RestoreFromStore loads, decodes and restores the last checkpoint from
+// st, then attaches st for future checkpoints. A missing checkpoint is
+// reported as platform.ErrNoCheckpoint so callers can cold-start instead.
+func (c *Controller) RestoreFromStore(st platform.Store) (RestoreReport, error) {
+	data, err := st.Load()
+	if err != nil {
+		return RestoreReport{}, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return RestoreReport{}, err
+	}
+	rr, err := c.Restore(snap)
+	if err != nil {
+		return rr, err
+	}
+	c.store = st
+	return rr, nil
+}
+
+// restoreVCPU rebuilds one vCPU from its checkpoint entry. The usage
+// baseline is re-read live — the cumulative counter kept advancing (or
+// reset with a VM restart) while the controller was down, so the first
+// post-restore delta must span live readings only. The live cpu.max
+// quota is reconciled: when it differs from what this cap would produce,
+// some other writer changed it and the live value wins.
+func (c *Controller) restoreVCPU(rep *StepReport, name string, vs VCPUSnapshot) (*VCPUState, bool, error) {
+	usage, err := c.retryUsage(rep, name, vs.Index)
+	if err != nil {
+		return nil, false, err
+	}
+	v := &VCPUState{
+		VM:          name,
+		Index:       vs.Index,
+		Hist:        NewHistory(c.cfg.HistoryLen),
+		PrevUsageUs: usage,
+		LastU:       c.clampCycles(vs.ConsumedUs),
+		CapUs:       c.clampCycles(vs.CapUs),
+		EstUs:       c.clampCycles(vs.EstimateUs),
+		TID:         vs.TID,
+		LastCore:    vs.LastCore,
+		FreqMHz:     vs.VirtFreqMHz,
+		Degraded:    vs.Degraded,
+		FailedSteps: vs.FailedSteps,
+		CleanSteps:  vs.CleanSteps,
+		warm:        vs.Warm,
+	}
+	for _, u := range vs.Hist {
+		v.Hist.Push(c.clampCycles(u))
+	}
+	return v, c.adoptQuota(v), nil
+}
+
+// clampCycles bounds a per-period cycle count to [0, PeriodUs] — a vCPU
+// is one thread and can never consume more than one core-period.
+func (c *Controller) clampCycles(u int64) int64 {
+	if u < 0 {
+		return 0
+	}
+	if u > c.cfg.PeriodUs {
+		return c.cfg.PeriodUs
+	}
+	return u
+}
+
+// adoptQuota reconciles a vCPU's cap with the cpu.max quota live in its
+// cgroup, via the optional platform.QuotaReader capability. When the live
+// quota differs from the quota this cap would produce — a previous
+// incarnation with different tuning, or an operator's manual write — the
+// live value is adopted as the current cap rather than silently
+// overwritten at the next apply. An unlimited cgroup ("max") and any
+// read failure leave the cap untouched; reconciliation is best-effort.
+func (c *Controller) adoptQuota(v *VCPUState) bool {
+	qr, ok := c.host.(platform.QuotaReader)
+	if !ok || !c.cfg.ControlEnabled {
+		return false
+	}
+	quota, period, err := qr.ReadMax(v.VM, v.Index)
+	if err != nil || period <= 0 || quota == platform.NoQuota || quota < 0 {
+		return false
+	}
+	expected := v.CapUs * c.cfg.CgroupPeriodUs / c.cfg.PeriodUs
+	if expected < c.cfg.MinQuotaUs {
+		expected = c.cfg.MinQuotaUs
+	}
+	if quota == expected && period == c.cfg.CgroupPeriodUs {
+		return false
+	}
+	v.CapUs = c.clampCycles(quota * c.cfg.PeriodUs / period)
+	return true
+}

@@ -76,6 +76,20 @@ type Config struct {
 	// for the period (transient /proc and cgroup read races usually
 	// succeed on the immediate retry). 0 disables retrying.
 	HostRetries int
+	// RecoverySteps is the number of consecutive clean Steps after
+	// which a previously degraded vCPU's FailedSteps counter resets (a
+	// reset is reported as Recovered in the StepReport). 0 behaves like
+	// 1: the counter clears on the first clean step.
+	RecoverySteps int
+	// CheckpointEvery, when positive and a Store is attached (see
+	// Controller.AttachStore), persists a full controller checkpoint
+	// every this many completed Steps. 0 disables checkpointing.
+	CheckpointEvery int64
+	// StepDeadlineFrac is the watchdog budget: the fraction of PeriodUs
+	// a Step may spend in wall-clock time before it is reported as
+	// overrunning (Overrun in the StepReport, with skipped-period
+	// accounting). 0 disables the deadline.
+	StepDeadlineFrac float64
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -94,6 +108,8 @@ func DefaultConfig() Config {
 		CreditCapPeriods: 60,
 		ControlEnabled:   true,
 		HostRetries:      1,
+		RecoverySteps:    1,
+		StepDeadlineFrac: 0.5,
 	}
 }
 
@@ -137,6 +153,15 @@ func (c Config) Validate() error {
 	}
 	if c.HostRetries < 0 || c.HostRetries > 16 {
 		return fmt.Errorf("core: host retries %d outside [0, 16]", c.HostRetries)
+	}
+	if c.RecoverySteps < 0 {
+		return fmt.Errorf("core: recovery steps must be non-negative")
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: checkpoint interval must be non-negative")
+	}
+	if c.StepDeadlineFrac < 0 || c.StepDeadlineFrac > 1 {
+		return fmt.Errorf("core: step deadline fraction %g outside [0, 1]", c.StepDeadlineFrac)
 	}
 	return nil
 }

@@ -42,8 +42,13 @@ type VCPUState struct {
 	// FailedSteps counts consecutive Steps this vCPU has been
 	// degraded; 0 when healthy. A value above 1 indicates a persistent
 	// fault (dead thread, vanished cgroup) rather than a transient
-	// read race.
+	// read race. The counter holds through clean Steps until
+	// Config.RecoverySteps of them pass, then resets (counted as
+	// Recovered in the StepReport).
 	FailedSteps int
+	// CleanSteps counts consecutive clean Steps since the vCPU was
+	// last degraded; only meaningful while FailedSteps > 0.
+	CleanSteps int
 
 	// warm marks a vCPU registered during the current step: the first
 	// usage reading happens at registration time, so no consumption
@@ -75,6 +80,10 @@ type Controller struct {
 	steps   int64
 	timings StageTimings
 	report  StepReport
+
+	// store, when attached, receives a checkpoint every
+	// Config.CheckpointEvery completed Steps.
+	store platform.Store
 }
 
 // New creates a controller.
@@ -313,57 +322,127 @@ func (c *Controller) reconcileVM(rep *StepReport, st *VMState, info platform.VMI
 // fault is recorded in the StepReport) while every other vCPU receives a
 // fresh quota. Step returns an error only when the whole host is
 // unreachable, i.e. the VM enumeration itself fails.
+//
+// Step is additionally watchdogged: a panic in any stage is recovered
+// into a degraded step (every vCPU marked degraded, the panic recorded as
+// a fault), and a step whose wall-clock time crosses the
+// Config.StepDeadlineFrac budget is flagged Overrun with skipped-period
+// accounting, so a periodic caller can detect and report missed ticks.
 func (c *Controller) Step() error {
 	rep := StepReport{Step: c.steps + 1}
 	t0 := time.Now()
-	if err := c.syncVMs(&rep); err != nil {
-		rep.Timings.Total = time.Since(t0)
-		c.timings = rep.Timings
-		c.report = rep
-		return err
-	}
-	tm0 := time.Now()
-	c.monitor(&rep)
-	rep.Timings.Monitor = time.Since(tm0)
-
-	te := time.Now()
-	c.estimateAll()
-	rep.Timings.Estimate = time.Since(te)
-
-	tf := time.Now()
-	c.enforceBase()
-	rep.Timings.Enforce = time.Since(tf)
-
-	ta := time.Now()
-	market := c.market()
-	market = c.auction(market)
-	rep.Timings.Auction = time.Since(ta)
-
-	td := time.Now()
-	c.distribute(market)
-	rep.Timings.Distribute = time.Since(td)
-
-	tp := time.Now()
-	if c.cfg.ControlEnabled {
-		c.apply(&rep)
-	}
-	rep.Timings.Apply = time.Since(tp)
+	err := c.runStages(&rep, t0)
 	rep.Timings.Total = time.Since(t0)
+	if period := time.Duration(c.cfg.PeriodUs) * time.Microsecond; rep.Timings.Total >= period {
+		rep.SkippedPeriods = int64(rep.Timings.Total / period)
+	}
 
 	rep.VMs = len(c.vms)
 	for _, st := range c.vms {
 		for _, v := range st.VCPUs {
 			rep.VCPUs++
 			if v.Degraded {
+				v.CleanSteps = 0
 				rep.DegradedVCPUs++
-			} else {
-				rep.HealthyVCPUs++
+				continue
+			}
+			rep.HealthyVCPUs++
+			if v.FailedSteps > 0 {
+				v.CleanSteps++
+				need := c.cfg.RecoverySteps
+				if need < 1 {
+					need = 1
+				}
+				if v.CleanSteps >= need {
+					v.FailedSteps = 0
+					v.CleanSteps = 0
+					rep.Recovered++
+				}
 			}
 		}
 	}
 	c.timings = rep.Timings
 	c.report = rep
-	c.steps++
+	if err == nil {
+		c.steps++
+		c.maybeCheckpoint(&rep)
+		c.report = rep // pick up Checkpointed and any checkpoint fault
+	}
+	return err
+}
+
+// runStages executes the six stages under the watchdog: a per-stage
+// deadline check and a panic recovery that converts a crashing stage
+// into a degraded (but completed) step.
+func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
+	var deadline time.Duration
+	if c.cfg.StepDeadlineFrac > 0 {
+		deadline = time.Duration(float64(c.cfg.PeriodUs)*c.cfg.StepDeadlineFrac) * time.Microsecond
+	}
+	checkStage := func(name string) {
+		if deadline > 0 && !rep.Overrun && time.Since(t0) > deadline {
+			rep.Overrun = true
+			rep.OverrunStage = name
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rep.Panicked = true
+		rep.record(Fault{VCPU: -1, Stage: "step", Op: "panic",
+			Err: fmt.Errorf("core: recovered step panic: %v", r)})
+		// The panic may have unwound mid-stage: the surviving per-vCPU
+		// state is suspect, so every vCPU degrades (caps held, no credit
+		// accrual) until fresh measurements rebuild it.
+		for _, st := range c.vms {
+			for _, v := range st.VCPUs {
+				if !v.Degraded {
+					v.Degraded = true
+					v.FailedSteps++
+				}
+			}
+		}
+	}()
+
+	if err := c.syncVMs(rep); err != nil {
+		return err
+	}
+	checkStage("sync")
+
+	tm0 := time.Now()
+	c.monitor(rep)
+	rep.Timings.Monitor = time.Since(tm0)
+	checkStage("monitor")
+
+	te := time.Now()
+	c.estimateAll()
+	rep.Timings.Estimate = time.Since(te)
+	checkStage("estimate")
+
+	tf := time.Now()
+	c.enforceBase()
+	rep.Timings.Enforce = time.Since(tf)
+	checkStage("enforce")
+
+	ta := time.Now()
+	market := c.market()
+	market = c.auction(market)
+	rep.Timings.Auction = time.Since(ta)
+	checkStage("auction")
+
+	td := time.Now()
+	c.distribute(market)
+	rep.Timings.Distribute = time.Since(td)
+	checkStage("distribute")
+
+	tp := time.Now()
+	if c.cfg.ControlEnabled {
+		c.apply(rep)
+	}
+	rep.Timings.Apply = time.Since(tp)
+	checkStage("apply")
 	return nil
 }
 
@@ -385,8 +464,10 @@ func (c *Controller) monitor(rep *StepReport) {
 				v.FailedSteps++
 				rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "monitor", Op: op, Err: err})
 			} else {
+				// FailedSteps holds until enough clean Steps pass; the
+				// recovery accounting runs at the end of Step, after
+				// apply had its chance to degrade the vCPU again.
 				v.Degraded = false
-				v.FailedSteps = 0
 			}
 		}
 	}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSnapshot feeds arbitrary bytes through the checkpoint
+// decoder. The property under test is the crash-safety contract: a
+// corrupted checkpoint must never panic the recovering controller, and
+// anything the decoder accepts must re-encode to an equally valid
+// checkpoint.
+func FuzzDecodeSnapshot(f *testing.F) {
+	// Seed with a real checkpoint from a live controller plus the classic
+	// malformed shapes.
+	h := newFakeHost()
+	h.addVM("web", 2, 500)
+	h.addVM("batch", 4, 1200)
+	if c, err := New(h, DefaultConfig()); err == nil {
+		for i := 0; i < 3; i++ {
+			h.consume("web", 0, 200_000)
+			h.consume("batch", 1, 600_000)
+			if err := c.Step(); err != nil {
+				break
+			}
+		}
+		if raw, err := c.Snapshot().JSON(); err == nil {
+			f.Add(raw)
+			f.Add(raw[:len(raw)/2]) // truncated mid-object
+		}
+	}
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":2,"step":-1}`))
+	f.Add([]byte(`{"version":2,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
+		`"vms":[{"name":"a","freq_mhz":99999}]}`))
+	f.Add([]byte(`{"version":2,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
+		`"vms":[{"name":"a","freq_mhz":500,"vcpus":[{"index":7}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data) // must not panic, whatever the input
+		if err != nil {
+			return
+		}
+		raw, err := s.JSON()
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		if _, err := DecodeSnapshot(raw); err != nil {
+			t.Fatalf("re-encoded valid checkpoint rejected: %v", err)
+		}
+	})
+}

@@ -58,6 +58,29 @@ type StepReport struct {
 	// Retries counts host operations that succeeded only after an
 	// in-step retry (Config.HostRetries).
 	Retries int
+	// Recovered counts vCPUs whose FailedSteps counter was reset this
+	// Step after Config.RecoverySteps consecutive clean Steps.
+	Recovered int
+	// Panicked reports that a stage panicked this Step. The watchdog
+	// converted the panic into a degraded step: every tracked vCPU was
+	// marked degraded (its state may be mid-stage inconsistent) and the
+	// panic is recorded as a "step/panic" fault instead of crashing the
+	// control loop.
+	Panicked bool
+	// Overrun reports that the Step's wall-clock time crossed the
+	// deadline budget Config.StepDeadlineFrac × PeriodUs.
+	Overrun bool
+	// OverrunStage names the first stage after which the deadline was
+	// found exceeded ("sync", "monitor", "estimate", "enforce",
+	// "auction", "distribute" or "apply").
+	OverrunStage string
+	// SkippedPeriods counts whole control periods that elapsed while
+	// this Step ran: a caller ticking every PeriodUs missed this many
+	// ticks. 0 for a Step that fits in its period.
+	SkippedPeriods int64
+	// Checkpointed reports that this Step persisted a checkpoint to the
+	// attached store.
+	Checkpointed bool
 	// Faults lists the recorded failures, at most maxFaultsPerStep.
 	Faults []Fault
 	// FaultsDropped counts faults beyond the Faults capacity.
@@ -89,7 +112,14 @@ func (r StepReport) Degraded() bool { return r.DegradedVCPUs > 0 || r.FaultCount
 
 // String summarises the report in one line.
 func (r StepReport) String() string {
-	return fmt.Sprintf("step %d: %d VMs, %d/%d vCPUs healthy, %d degraded, %d faults (+%d added, -%d removed, ~%d reconfigured)",
+	s := fmt.Sprintf("step %d: %d VMs, %d/%d vCPUs healthy, %d degraded, %d faults (+%d added, -%d removed, ~%d reconfigured)",
 		r.Step, r.VMs, r.HealthyVCPUs, r.VCPUs, r.DegradedVCPUs, r.FaultCount(),
 		len(r.Added), len(r.Removed), len(r.Reconfigured))
+	if r.Panicked {
+		s += " [panicked]"
+	}
+	if r.Overrun {
+		s += fmt.Sprintf(" [overrun after %s, %d periods skipped]", r.OverrunStage, r.SkippedPeriods)
+	}
+	return s
 }

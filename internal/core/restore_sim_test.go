@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"vfreq/internal/core"
+	"vfreq/internal/platform"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+// simRig is one simulated node with a checkpointing controller on it.
+type simRig struct {
+	mgr   *vm.Manager
+	ctrl  *core.Controller
+	store *platform.MemStore
+}
+
+func newSimRig(t *testing.T, cfg core.Config) *simRig {
+	t.Helper()
+	mgr := testNode(t, 4)
+	if _, err := mgr.Provision("web", vm.Small(), []workload.Source{
+		&workload.Bursty{PeriodUs: 3_000_000, Duty: 0.4, High: 1, Low: 0.1},
+		&workload.Bursty{PeriodUs: 5_000_000, Duty: 0.6, High: 0.9, Low: 0.2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Provision("batch", vm.Medium(), busySources(4)); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.New(platform.NewSim(mgr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &platform.MemStore{FS: mgr.Machine().FS, Path: "/vfreq-ckpt.json"}
+	ctrl.AttachStore(store)
+	return &simRig{mgr: mgr, ctrl: ctrl, store: store}
+}
+
+func (r *simRig) step(t *testing.T) {
+	t.Helper()
+	r.mgr.Machine().Advance(r.ctrl.Config().PeriodUs)
+	if err := r.ctrl.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The PR's acceptance test: kill the controller mid-run, restore a fresh
+// one from the checkpoint, and compare against an identical uninterrupted
+// twin. The sim is deterministic, so the restored controller must track
+// the twin exactly — same step counter, credits and per-vCPU caps.
+func TestKillAndRestoreConvergesWithUninterruptedTwin(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CheckpointEvery = 1
+
+	ref := newSimRig(t, cfg) // never interrupted
+	vic := newSimRig(t, cfg) // killed at step 10, restored, resumed
+
+	for i := 0; i < 10; i++ {
+		ref.step(t)
+		vic.step(t)
+	}
+
+	// Kill: drop the controller on the floor. Recover: build a fresh one
+	// on the same (still running) node and restore the last checkpoint.
+	reborn, err := core.New(platform.NewSim(vic.mgr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := reborn.RestoreFromStore(vic.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CheckpointStep != 10 || len(rr.Adopted) != 2 || len(rr.ColdStarted)+len(rr.Dropped)+len(rr.Deferred) != 0 {
+		t.Fatalf("restore report: %s", rr.String())
+	}
+	if reborn.Steps() != 10 {
+		t.Fatalf("restored step counter = %d, want 10", reborn.Steps())
+	}
+	vic.ctrl = reborn
+
+	for i := 0; i < 10; i++ {
+		ref.step(t)
+		vic.step(t)
+	}
+
+	if got, want := vic.ctrl.Steps(), ref.ctrl.Steps(); got != want {
+		t.Fatalf("step counters diverged: %d vs %d", got, want)
+	}
+	for _, name := range []string{"web", "batch"} {
+		rv, vv := ref.ctrl.VM(name), vic.ctrl.VM(name)
+		if rv == nil || vv == nil {
+			t.Fatalf("VM %s missing after restore", name)
+		}
+		if rv.CreditUs != vv.CreditUs {
+			t.Fatalf("%s credit diverged after restore: %d (ref) vs %d (restored)",
+				name, rv.CreditUs, vv.CreditUs)
+		}
+		for j := range rv.VCPUs {
+			if rv.VCPUs[j].CapUs != vv.VCPUs[j].CapUs {
+				t.Fatalf("%s/vcpu%d cap diverged after restore: %d (ref) vs %d (restored)",
+					name, j, rv.VCPUs[j].CapUs, vv.VCPUs[j].CapUs)
+			}
+		}
+	}
+	// The restored incarnation keeps checkpointing through the same store.
+	if !vic.ctrl.LastReport().Checkpointed {
+		t.Fatal("restored controller stopped checkpointing")
+	}
+}
+
+// A checkpoint written through the memfs store survives a write fault:
+// the temp-then-rename protocol leaves the previous checkpoint intact.
+func TestCheckpointWriteFaultKeepsPreviousCheckpoint(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CheckpointEvery = 1
+	rig := newSimRig(t, cfg)
+
+	rig.step(t)
+	good, err := rig.store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected checkpoint write failure")
+	rig.mgr.Machine().FailWrites("vfreq-ckpt.json.tmp", boom, -1)
+	rig.step(t)
+	rep := rig.ctrl.LastReport()
+	if rep.Checkpointed {
+		t.Fatal("Checkpointed set despite write fault")
+	}
+	if rep.FaultCount() == 0 || rep.Faults[0].Stage != "checkpoint" {
+		t.Fatalf("checkpoint fault not recorded: %s", rep.String())
+	}
+	after, err := rig.store.Load()
+	if err != nil {
+		t.Fatalf("previous checkpoint lost: %v", err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed save corrupted the previous checkpoint")
+	}
+
+	// Fault cleared: checkpointing resumes and overwrites atomically.
+	rig.mgr.Machine().ClearFileFaults()
+	rig.step(t)
+	if !rig.ctrl.LastReport().Checkpointed {
+		t.Fatal("checkpointing did not resume after fault cleared")
+	}
+	latest, err := rig.store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.DecodeSnapshot(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != 3 {
+		t.Fatalf("latest checkpoint step = %d, want 3", snap.Step)
+	}
+}

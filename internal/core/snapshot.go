@@ -1,14 +1,27 @@
 package core
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SnapshotVersion is the checkpoint format version written by Snapshot
+// and required by DecodeSnapshot. Version 1 was the telemetry-only view
+// without history rings; version 2 carries the full round-trippable
+// controller state.
+const SnapshotVersion = 2
 
 // Snapshot is a JSON-serialisable view of the controller state after a
-// Step, for telemetry, debugging and operator dashboards.
+// Step. Since version 2 it is a complete checkpoint: Restore rebuilds a
+// controller from it, so crash recovery resumes with the same credits,
+// caps and consumption histories the dead incarnation had.
 type Snapshot struct {
+	Version          int          `json:"version"`
 	Step             int64        `json:"step"`
 	Node             string       `json:"node"`
 	Cores            int          `json:"cores"`
 	MaxFreqMHz       int64        `json:"max_freq_mhz"`
+	PeriodUs         int64        `json:"period_us"`
 	CapacityUs       int64        `json:"capacity_us"`
 	TotalGuaranteeUs int64        `json:"total_guarantee_us"`
 	TotalCapUs       int64        `json:"total_cap_us"`
@@ -38,19 +51,26 @@ type VCPUSnapshot struct {
 	CapUs       int64   `json:"cap_us"`
 	EstimateUs  int64   `json:"estimate_us"`
 	VirtFreqMHz float64 `json:"virt_freq_mhz"`
+	PrevUsageUs int64   `json:"prev_usage_us"`
+	Hist        []int64 `json:"hist,omitempty"`
+	Warm        bool    `json:"warm,omitempty"`
 	Degraded    bool    `json:"degraded,omitempty"`
 	FailedSteps int     `json:"failed_steps,omitempty"`
+	CleanSteps  int     `json:"clean_steps,omitempty"`
 }
 
 // Snapshot captures the current controller state.
 func (c *Controller) Snapshot() Snapshot {
 	s := Snapshot{
+		Version:          SnapshotVersion,
 		Step:             c.steps,
 		Node:             c.node.Name,
 		Cores:            c.node.Cores,
 		MaxFreqMHz:       c.node.MaxFreqMHz,
+		PeriodUs:         c.cfg.PeriodUs,
 		CapacityUs:       c.CapacityUs(),
 		TotalGuaranteeUs: c.TotalGuaranteeUs(),
+		MarketUs:         c.market(),
 		StepMicros:       c.timings.Total.Microseconds(),
 		MonitorMicros:    c.timings.Monitor.Microseconds(),
 		DegradedVCPUs:    c.report.DegradedVCPUs,
@@ -65,6 +85,12 @@ func (c *Controller) Snapshot() Snapshot {
 			CreditUs:    st.CreditUs,
 		}
 		for _, v := range st.VCPUs {
+			// nil (not empty) when there are no samples, so that the
+			// omitempty encoding round-trips to an identical value.
+			var hist []int64
+			for i := 0; i < v.Hist.Len(); i++ {
+				hist = append(hist, v.Hist.At(i))
+			}
 			vs.VCPUs = append(vs.VCPUs, VCPUSnapshot{
 				Index:       v.Index,
 				TID:         v.TID,
@@ -73,19 +99,86 @@ func (c *Controller) Snapshot() Snapshot {
 				CapUs:       v.CapUs,
 				EstimateUs:  v.EstUs,
 				VirtFreqMHz: v.FreqMHz,
+				PrevUsageUs: v.PrevUsageUs,
+				Hist:        hist,
+				Warm:        v.warm,
 				Degraded:    v.Degraded,
 				FailedSteps: v.FailedSteps,
+				CleanSteps:  v.CleanSteps,
 			})
 			s.TotalCapUs += v.CapUs
 		}
 		s.VMs = append(s.VMs, vs)
-	}
-	s.MarketUs = s.CapacityUs - s.TotalCapUs
-	if s.MarketUs < 0 {
-		s.MarketUs = 0
 	}
 	return s
 }
 
 // JSON renders the snapshot.
 func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// DecodeSnapshot parses and validates a checkpoint. It never panics on
+// malformed input: any structural or semantic problem is returned as an
+// error, so a corrupted checkpoint degrades a restart into a cold start
+// instead of crashing the recovering controller.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return Snapshot{}, fmt.Errorf("core: checkpoint version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.Step < 0 {
+		return Snapshot{}, fmt.Errorf("core: checkpoint step %d is negative", s.Step)
+	}
+	if s.Cores <= 0 || s.MaxFreqMHz <= 0 {
+		return Snapshot{}, fmt.Errorf("core: checkpoint node shape %d cores @ %d MHz invalid",
+			s.Cores, s.MaxFreqMHz)
+	}
+	if s.PeriodUs <= 0 {
+		return Snapshot{}, fmt.Errorf("core: checkpoint period %d invalid", s.PeriodUs)
+	}
+	seen := map[string]bool{}
+	for i, vm := range s.VMs {
+		if vm.Name == "" {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %d has no name", i)
+		}
+		if seen[vm.Name] {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q duplicated", vm.Name)
+		}
+		seen[vm.Name] = true
+		if vm.FreqMHz <= 0 || vm.FreqMHz > s.MaxFreqMHz {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q frequency %d MHz outside (0, %d]",
+				vm.Name, vm.FreqMHz, s.MaxFreqMHz)
+		}
+		if vm.GuaranteeUs < 0 || vm.GuaranteeUs > s.PeriodUs {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q guarantee %d outside [0, period]",
+				vm.Name, vm.GuaranteeUs)
+		}
+		if vm.CreditUs < 0 {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q credit %d is negative",
+				vm.Name, vm.CreditUs)
+		}
+		for j, v := range vm.VCPUs {
+			if v.Index != j {
+				return Snapshot{}, fmt.Errorf("core: checkpoint VM %q vCPU %d has index %d, want positional",
+					vm.Name, j, v.Index)
+			}
+			if v.CapUs < 0 || v.EstimateUs < 0 || v.ConsumedUs < 0 || v.PrevUsageUs < 0 {
+				return Snapshot{}, fmt.Errorf("core: checkpoint %s/vcpu%d has negative accounting",
+					vm.Name, v.Index)
+			}
+			if v.FailedSteps < 0 || v.CleanSteps < 0 {
+				return Snapshot{}, fmt.Errorf("core: checkpoint %s/vcpu%d has negative step counters",
+					vm.Name, v.Index)
+			}
+			for _, u := range v.Hist {
+				if u < 0 {
+					return Snapshot{}, fmt.Errorf("core: checkpoint %s/vcpu%d has negative history sample",
+						vm.Name, v.Index)
+				}
+			}
+		}
+	}
+	return s, nil
+}

@@ -30,6 +30,9 @@ type DynamicClusterExperiment struct {
 	Steps int
 	// Seed makes the arrival process reproducible.
 	Seed int64
+	// FailThreshold enables node-failure detection and evacuation (see
+	// cluster.Config.FailThreshold); 0 disables it.
+	FailThreshold int
 }
 
 // DynamicResult summarises a dynamic run.
@@ -47,6 +50,14 @@ type DynamicResult struct {
 	// host faults — both zero on a healthy cluster.
 	DegradedVCPUSteps int
 	Faults            int
+	// NodeFailureSteps counts steps during which at least one node was
+	// unreachable; the run continues, since the cluster isolates node
+	// failures and (with FailThreshold set) evacuates the failed nodes.
+	NodeFailureSteps int
+	// Evacuations counts VMs moved off failed nodes, StrandedVMSteps
+	// the per-step sum of VMs stuck on a failed node with no target.
+	Evacuations     int
+	StrandedVMSteps int
 }
 
 // Run executes the experiment.
@@ -54,7 +65,7 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 	if e.Steps <= 0 || e.ArrivalsPerStep <= 0 || e.MeanLifetimeSteps <= 0 {
 		return nil, fmt.Errorf("experiments: dynamic run needs positive steps, arrivals and lifetime")
 	}
-	cl, err := cluster.New(e.Nodes, cluster.Config{Policy: e.Policy})
+	cl, err := cluster.New(e.Nodes, cluster.Config{Policy: e.Policy, FailThreshold: e.FailThreshold})
 	if err != nil {
 		return nil, err
 	}
@@ -101,11 +112,15 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 			live = append(live, liveVM{name: name, until: step + life})
 		}
 		if err := cl.Step(); err != nil {
-			return nil, err
+			// Node failures are isolated by the cluster: the surviving
+			// nodes were stepped and (with FailThreshold set) the failed
+			// ones are being evacuated, so the run continues.
+			res.NodeFailureSteps++
 		}
 		h := cl.Health()
 		res.DegradedVCPUSteps += h.DegradedVCPUs
 		res.Faults += h.Faults
+		res.StrandedVMSteps += h.StrandedVMs
 		used := cl.UsedNodes()
 		usedSum += int64(used)
 		if used > res.PeakUsedNodes {
@@ -116,6 +131,7 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 	res.ActiveEnergyJ = cl.ActiveEnergyJoules()
 	res.AlwaysOnEnergyJ = cl.TotalEnergyJoules()
 	res.Migrations = cl.Migrations()
+	res.Evacuations = cl.Evacuations()
 	return res, nil
 }
 

@@ -1,0 +1,94 @@
+package memfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRenameMovesFile(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddFile("/a/b/x", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a/b/x", "/a/y"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a/b/x") {
+		t.Fatal("source still exists after rename")
+	}
+	got, err := fs.ReadFile("/a/y")
+	if err != nil || got != "payload" {
+		t.Fatalf("ReadFile after rename = %q, %v", got, err)
+	}
+}
+
+func TestRenameReplacesFileTarget(t *testing.T) {
+	fs := New()
+	if err := fs.AddFile("/new", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddFile("/old", "stale"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/new", "/old"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/old")
+	if err != nil || got != "fresh" {
+		t.Fatalf("target after replace = %q, %v", got, err)
+	}
+	if fs.Exists("/new") {
+		t.Fatal("source survived the replace")
+	}
+}
+
+func TestRenameMovesDirectory(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/src/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddFile("/src/sub/f", "deep"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/dst/sub/f")
+	if err != nil || got != "deep" {
+		t.Fatalf("moved tree content = %q, %v", got, err)
+	}
+}
+
+func TestRenameRejections(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d/inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AddFile("/f", "x"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		old, new string
+		want     error
+	}{
+		{"root as source", "/", "/x", ErrBadHandle},
+		{"root as target", "/f", "/", ErrBadHandle},
+		{"under itself", "/d", "/d/inner/d2", ErrBadHandle},
+		{"missing source", "/ghost", "/g2", ErrNotExist},
+		{"missing target parent", "/f", "/nodir/f", ErrNotExist},
+		{"onto directory", "/f", "/d", ErrIsDir},
+	}
+	for _, tc := range cases {
+		if err := fs.Rename(tc.old, tc.new); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: Rename(%s, %s) = %v, want %v", tc.name, tc.old, tc.new, err, tc.want)
+		}
+	}
+	// Self-rename is a no-op, like os.Rename on the same path.
+	if err := fs.Rename("/f", "/f"); err != nil {
+		t.Fatalf("self rename: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ const (
 	SiteUsage    FaultSite = "UsageUs"
 	SiteSetMax   FaultSite = "SetMax"
 	SiteClearMax FaultSite = "ClearMax"
+	SiteReadMax  FaultSite = "ReadMax"
 	SiteSetBurst FaultSite = "SetBurst"
 	SiteThreadID FaultSite = "ThreadID"
 	SiteLastCPU  FaultSite = "LastCPU"
@@ -27,7 +28,7 @@ const (
 
 // Sites lists every injectable call site.
 var Sites = []FaultSite{
-	SiteListVMs, SiteUsage, SiteSetMax, SiteClearMax,
+	SiteListVMs, SiteUsage, SiteSetMax, SiteClearMax, SiteReadMax,
 	SiteSetBurst, SiteThreadID, SiteLastCPU, SiteCoreFreq,
 }
 
@@ -188,6 +189,19 @@ func (f *FaultyHost) ClearMax(vm string, vcpu int) error {
 		return err
 	}
 	return f.inner.ClearMax(vm, vcpu)
+}
+
+// ReadMax implements QuotaReader, forwarding to the inner host when it
+// supports quota reads.
+func (f *FaultyHost) ReadMax(vm string, vcpu int) (int64, int64, error) {
+	if err := f.fail(SiteReadMax, vm, vcpu); err != nil {
+		return 0, 0, err
+	}
+	qr, ok := f.inner.(QuotaReader)
+	if !ok {
+		return 0, 0, fmt.Errorf("platform: host %T cannot read quotas", f.inner)
+	}
+	return qr.ReadMax(vm, vcpu)
 }
 
 // SetBurst implements Host.

@@ -123,6 +123,22 @@ func (l *Linux) SetMax(vm string, vcpu int, quotaUs, periodUs int64) error {
 		[]byte(fmt.Sprintf("%d %d", quotaUs, periodUs)), 0o644)
 }
 
+// ReadMax implements QuotaReader.
+func (l *Linux) ReadMax(vm string, vcpu int) (int64, int64, error) {
+	b, err := os.ReadFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"))
+	if err != nil {
+		return 0, 0, err
+	}
+	quota, period, err := cgroupfs.ParseCPUMax(string(b), 100_000)
+	if err != nil {
+		return 0, 0, err
+	}
+	if quota < 0 {
+		quota = NoQuota
+	}
+	return quota, period, nil
+}
+
 // ClearMax implements Host.
 func (l *Linux) ClearMax(vm string, vcpu int) error {
 	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"), []byte("max"), 0o644)

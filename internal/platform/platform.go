@@ -48,3 +48,16 @@ type Host interface {
 	// (scaling_cur_freq).
 	CoreFreqMHz(core int) (int64, error)
 }
+
+// NoQuota is the quota value ReadMax returns for an unlimited cgroup
+// ("max" in cpu.max).
+const NoQuota = int64(-1)
+
+// QuotaReader is an optional Host capability: reading back the cgroup
+// cpu.max quota currently in force for a vCPU. The controller uses it on
+// restart to adopt quotas it did not write this incarnation (cold-start
+// adoption) instead of blindly resetting them. quotaUs is NoQuota when
+// the cgroup is unlimited.
+type QuotaReader interface {
+	ReadMax(vm string, vcpu int) (quotaUs, periodUs int64, err error)
+}

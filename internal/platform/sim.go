@@ -55,6 +55,23 @@ func (s *Sim) SetMax(vmName string, vcpu int, quotaUs, periodUs int64) error {
 		fmt.Sprintf("%d %d", quotaUs, periodUs))
 }
 
+// ReadMax implements QuotaReader: it reads the vCPU's cpu.max back
+// through the pseudo-file, exactly as the controller would on Linux.
+func (s *Sim) ReadMax(vmName string, vcpu int) (int64, int64, error) {
+	content, err := s.mgr.Machine().FS.ReadFile(s.vcpuPath(vmName, vcpu) + "/cpu.max")
+	if err != nil {
+		return 0, 0, fmt.Errorf("platform: reading cpu.max of %s/vcpu%d: %w", vmName, vcpu, err)
+	}
+	quota, period, err := cgroupfs.ParseCPUMax(content, 100_000)
+	if err != nil {
+		return 0, 0, err
+	}
+	if quota < 0 {
+		quota = NoQuota
+	}
+	return quota, period, nil
+}
+
 // ClearMax implements Host.
 func (s *Sim) ClearMax(vmName string, vcpu int) error {
 	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max", "max")

@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"vfreq/internal/memfs"
+)
+
+// ErrNoCheckpoint is returned by Store.Load when no checkpoint has been
+// saved yet. Callers starting a controller treat it as a cold start.
+var ErrNoCheckpoint = errors.New("platform: no checkpoint")
+
+// Store persists opaque controller checkpoints. Save must be atomic: a
+// crash during Save leaves either the previous checkpoint or the new one,
+// never a torn mix — restart recovery depends on it.
+type Store interface {
+	// Save durably replaces the stored checkpoint.
+	Save(data []byte) error
+	// Load returns the last saved checkpoint, or ErrNoCheckpoint.
+	Load() ([]byte, error)
+}
+
+// FileStore persists checkpoints to a real file with the classic
+// write-to-temp-then-rename protocol, so a crash mid-write never
+// corrupts the previous checkpoint.
+type FileStore struct {
+	// Path is the checkpoint file. Save writes Path+".tmp" first and
+	// renames it into place.
+	Path string
+}
+
+// Save implements Store.
+func (s FileStore) Save(data []byte) error {
+	if s.Path == "" {
+		return fmt.Errorf("platform: file store has no path")
+	}
+	tmp := s.Path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("platform: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, s.Path); err != nil {
+		return fmt.Errorf("platform: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s FileStore) Load() ([]byte, error) {
+	data, err := os.ReadFile(s.Path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("platform: reading checkpoint: %w", err)
+	}
+	return data, nil
+}
+
+// Dir returns the directory holding the checkpoint file.
+func (s FileStore) Dir() string { return filepath.Dir(s.Path) }
+
+// MemStore persists checkpoints into an in-memory filesystem with the
+// same temp-then-rename protocol as FileStore. Because every write goes
+// through the memfs fault hook, tests can inject checkpoint write
+// failures exactly like any other pseudo-file fault.
+type MemStore struct {
+	FS   *memfs.FS
+	Path string
+}
+
+// Save implements Store.
+func (s *MemStore) Save(data []byte) error {
+	if s.FS == nil || s.Path == "" {
+		return fmt.Errorf("platform: mem store not configured")
+	}
+	tmp := s.Path + ".tmp"
+	if !s.FS.Exists(tmp) {
+		if err := s.FS.AddFile(tmp, ""); err != nil {
+			return fmt.Errorf("platform: creating checkpoint temp: %w", err)
+		}
+	}
+	if err := s.FS.WriteFile(tmp, string(data)); err != nil {
+		// Leave no partial temp behind; the previous checkpoint is
+		// untouched either way.
+		_ = s.FS.Remove(tmp)
+		return fmt.Errorf("platform: writing checkpoint: %w", err)
+	}
+	if err := s.FS.Rename(tmp, s.Path); err != nil {
+		return fmt.Errorf("platform: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load() ([]byte, error) {
+	if s.FS == nil || !s.FS.Exists(s.Path) {
+		return nil, ErrNoCheckpoint
+	}
+	data, err := s.FS.ReadFile(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("platform: reading checkpoint: %w", err)
+	}
+	return []byte(data), nil
+}

@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vfreq/internal/memfs"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	st := FileStore{Path: filepath.Join(t.TempDir(), "ckpt.json")}
+	if _, err := st.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load before Save = %v, want ErrNoCheckpoint", err)
+	}
+	if err := st.Save([]byte(`{"version":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil || string(got) != `{"version":2}` {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+	// Overwrite replaces atomically (no temp file left behind).
+	if err := st.Save([]byte(`{"version":2,"step":9}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.Load()
+	if err != nil || !strings.Contains(string(got), `"step":9`) {
+		t.Fatalf("Load after overwrite = %q, %v", got, err)
+	}
+	if (FileStore{}).Save(nil) == nil {
+		t.Fatal("pathless store accepted a save")
+	}
+	if st := (FileStore{Path: "/ckpt.json"}); st.Dir() != "/" {
+		t.Fatalf("Dir = %q", st.Dir())
+	}
+}
+
+func TestMemStoreRoundTripAndFaults(t *testing.T) {
+	fs := memfs.New()
+	st := &MemStore{FS: fs, Path: "/ckpt.json"}
+	if _, err := st.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load before Save = %v, want ErrNoCheckpoint", err)
+	}
+	if err := st.Save([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil || string(got) != "first" {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+
+	// A write fault mid-save must leave the previous checkpoint intact —
+	// the atomicity contract crash recovery depends on.
+	boom := errors.New("injected write fault")
+	fs.SetFaultHook(func(op, path string) error {
+		if op == "write" && strings.HasSuffix(path, ".tmp") {
+			return boom
+		}
+		return nil
+	})
+	if err := st.Save([]byte("second")); !errors.Is(err, boom) {
+		t.Fatalf("Save under fault = %v, want injected error", err)
+	}
+	if fs.Exists("/ckpt.json.tmp") {
+		t.Fatal("failed save left a temp file behind")
+	}
+	got, err = st.Load()
+	if err != nil || string(got) != "first" {
+		t.Fatalf("previous checkpoint damaged: %q, %v", got, err)
+	}
+
+	// Fault cleared: saves resume.
+	fs.SetFaultHook(nil)
+	if err := st.Save([]byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = st.Load(); string(got) != "third" {
+		t.Fatalf("Load after recovery = %q", got)
+	}
+
+	if (&MemStore{}).Save(nil) == nil {
+		t.Fatal("unconfigured mem store accepted a save")
+	}
+}

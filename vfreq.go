@@ -142,6 +142,29 @@ type (
 	VMInfo = platform.VMInfo
 )
 
+// Crash recovery: versioned checkpoints, atomic persistence, restore.
+type (
+	// Snapshot is a versioned, round-trippable controller checkpoint.
+	Snapshot = core.Snapshot
+	// RestoreReport describes what Controller.Restore adopted, cold-
+	// started and dropped.
+	RestoreReport = core.RestoreReport
+	// CheckpointStore persists checkpoints atomically.
+	CheckpointStore = platform.Store
+	// FileCheckpointStore persists to a real file via write-then-rename.
+	FileCheckpointStore = platform.FileStore
+	// QuotaReader is the optional Host capability to read live cpu.max
+	// quotas back, used for cold-start quota adoption on restore.
+	QuotaReader = platform.QuotaReader
+)
+
+// ErrNoCheckpoint is returned by CheckpointStore.Load before any save.
+var ErrNoCheckpoint = platform.ErrNoCheckpoint
+
+// DecodeSnapshot parses and validates a checkpoint without panicking on
+// malformed input.
+func DecodeSnapshot(data []byte) (Snapshot, error) { return core.DecodeSnapshot(data) }
+
 // Fault injection: wrap any Host to test controller robustness.
 type (
 	// FaultyHost injects failures per Host call site.
