@@ -74,38 +74,46 @@ func BenchmarkFig1CgroupShares(b *testing.B) {
 }
 
 // Fig. 2 — the six-stage control loop: cost of one full Step on the
-// paper's Table II workload (the paper reports 5 ms on chetemi).
+// paper's Table II workload (the paper reports 5 ms on chetemi), swept
+// over monitor-pool sizes (workers=1 is the serial stage).
 func BenchmarkFig2ControllerStep(b *testing.B) {
-	machine, err := host.New(host.Chetemi())
-	if err != nil {
-		b.Fatal(err)
-	}
-	mgr, err := vm.NewManager(machine)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < 20; i++ {
-		if _, err := mgr.Provision(fmt.Sprintf("small-%02d", i), vm.Small(),
-			[]workload.Source{workload.Busy(), workload.Busy()}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	for i := 0; i < 10; i++ {
-		srcs := []workload.Source{workload.Busy(), workload.Busy(), workload.Busy(), workload.Busy()}
-		if _, err := mgr.Provision(fmt.Sprintf("large-%02d", i), vm.Large(), srcs); err != nil {
-			b.Fatal(err)
-		}
-	}
-	ctrl, err := core.New(platform.NewSim(mgr), core.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	machine.Advance(1_000_000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := ctrl.Step(); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			machine, err := host.New(host.Chetemi())
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr, err := vm.NewManager(machine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				if _, err := mgr.Provision(fmt.Sprintf("small-%02d", i), vm.Small(),
+					[]workload.Source{workload.Busy(), workload.Busy()}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 10; i++ {
+				srcs := []workload.Source{workload.Busy(), workload.Busy(), workload.Busy(), workload.Busy()}
+				if _, err := mgr.Provision(fmt.Sprintf("large-%02d", i), vm.Large(), srcs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cfg := core.DefaultConfig()
+			cfg.MonitorWorkers = workers
+			ctrl, err := core.New(platform.NewSim(mgr), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			machine.Advance(1_000_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctrl.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -321,41 +329,51 @@ func BenchmarkPlacement(b *testing.B) {
 
 // Dynamic cluster (extension of §IV-C): the same Poisson arrival stream
 // admitted under the classic and Eq. 7 constraints — node and energy
-// savings over time.
+// savings over time. Run both sequentially and with parallel node
+// stepping; the reported metrics are identical, only wall-clock moves.
 func BenchmarkDynamicCluster(b *testing.B) {
-	spec := host.Chetemi()
-	spec.Cores = 8
-	nodes := make([]host.Spec, 6)
-	for i := range nodes {
-		nodes[i] = spec
-	}
-	base := experiments.DynamicClusterExperiment{
-		Nodes:             nodes,
-		ArrivalsPerStep:   1.2,
-		MeanLifetimeSteps: 10,
-		Steps:             40,
-		Seed:              42,
-	}
-	var eq7Nodes, classicNodes, eq7kJ, classickJ float64
-	for i := 0; i < b.N; i++ {
-		e := base
-		e.Policy = placement.Policy{Mode: placement.VirtualFrequency, Factor: 1, Memory: true}
-		r, err := e.Run()
-		if err != nil {
-			b.Fatal(err)
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
 		}
-		eq7Nodes, eq7kJ = r.MeanUsedNodes, r.ActiveEnergyJ/1000
-		e.Policy = placement.Policy{Mode: placement.CoreCount, Factor: 1, Memory: true}
-		r, err = e.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		classicNodes, classickJ = r.MeanUsedNodes, r.ActiveEnergyJ/1000
+		b.Run(name, func(b *testing.B) {
+			spec := host.Chetemi()
+			spec.Cores = 8
+			nodes := make([]host.Spec, 6)
+			for i := range nodes {
+				nodes[i] = spec
+			}
+			base := experiments.DynamicClusterExperiment{
+				Nodes:             nodes,
+				ArrivalsPerStep:   1.2,
+				MeanLifetimeSteps: 10,
+				Steps:             40,
+				Seed:              42,
+				Parallel:          parallel,
+			}
+			var eq7Nodes, classicNodes, eq7kJ, classickJ float64
+			for i := 0; i < b.N; i++ {
+				e := base
+				e.Policy = placement.Policy{Mode: placement.VirtualFrequency, Factor: 1, Memory: true}
+				r, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				eq7Nodes, eq7kJ = r.MeanUsedNodes, r.ActiveEnergyJ/1000
+				e.Policy = placement.Policy{Mode: placement.CoreCount, Factor: 1, Memory: true}
+				r, err = e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				classicNodes, classickJ = r.MeanUsedNodes, r.ActiveEnergyJ/1000
+			}
+			b.ReportMetric(eq7Nodes, "nodes_eq7")
+			b.ReportMetric(classicNodes, "nodes_classic")
+			b.ReportMetric(eq7kJ, "energy_eq7_kJ")
+			b.ReportMetric(classickJ, "energy_classic_kJ")
+		})
 	}
-	b.ReportMetric(eq7Nodes, "nodes_eq7")
-	b.ReportMetric(classicNodes, "nodes_classic")
-	b.ReportMetric(eq7kJ, "energy_eq7_kJ")
-	b.ReportMetric(classickJ, "energy_classic_kJ")
 }
 
 // Controller overhead — the paper's 5 ms/4 ms measurement, reported per

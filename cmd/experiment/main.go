@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"vfreq/internal/core"
 	"vfreq/internal/experiments"
 	"vfreq/internal/host"
 	"vfreq/internal/placement"
@@ -28,17 +29,39 @@ import (
 	"vfreq/internal/sched"
 )
 
+// Concurrency knobs (flags): results are identical at any setting, only
+// wall-clock moves.
+var (
+	monitorWorkers  int
+	parallelCluster bool
+)
+
 func main() {
 	id := flag.String("id", "all", "artefact id: fig1, fig6..fig14, table2..table5, cfs-a, cfs-b, placement, dynamic, overhead, report, all")
 	scale := flag.Float64("scale", 0.1, "time scale of the simulation (1 = the paper's full durations)")
 	csv := flag.Bool("csv", false, "print raw series as CSV instead of charts")
 	width := flag.Int("width", 72, "chart width")
+	flag.IntVar(&monitorWorkers, "monitor-workers", -1,
+		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 keeps the default)")
+	flag.BoolVar(&parallelCluster, "parallel", false,
+		"step the dynamic experiment's cluster nodes concurrently")
 	flag.Parse()
 
 	if err := run(*id, *scale, *csv, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
 	}
+}
+
+// withWorkers applies the -monitor-workers override to an experiment.
+func withWorkers(e experiments.FreqExperiment) experiments.FreqExperiment {
+	if monitorWorkers >= 0 {
+		if e.Config.PeriodUs == 0 {
+			e.Config = core.DefaultConfig()
+		}
+		e.Config.MonitorWorkers = monitorWorkers
+	}
+	return e
 }
 
 var order = []string{
@@ -191,6 +214,7 @@ func classTable(title string, classes []experiments.Class) error {
 }
 
 func freqFigure(title string, e experiments.FreqExperiment, scale float64, csv bool, width int) error {
+	e = withWorkers(e)
 	res, err := experiments.Scale(e, scale).Run()
 	if err != nil {
 		return err
@@ -229,6 +253,7 @@ func freqFigure(title string, e experiments.FreqExperiment, scale float64, csv b
 }
 
 func efficiencyFigure(title string, a, b experiments.FreqExperiment, scale float64) error {
+	a, b = withWorkers(a), withWorkers(b)
 	resA, err := experiments.Scale(a, scale).Run()
 	if err != nil {
 		return err
@@ -299,6 +324,7 @@ func dynamicTable() error {
 		Steps:             60,
 		Seed:              42,
 		FailThreshold:     3,
+		Parallel:          parallelCluster,
 	}
 	fmt.Println("Dynamic cluster (Poisson arrivals, exponential lifetimes, idle nodes off):")
 	fmt.Printf("  %-28s %-9s %-9s %-10s %-12s %-12s\n",
@@ -343,7 +369,7 @@ func experimentsDynamicNodes() []host.Spec {
 }
 
 func overhead(scale float64) error {
-	res, err := experiments.Scale(experiments.Fig7(), scale).Run()
+	res, err := experiments.Scale(withWorkers(experiments.Fig7()), scale).Run()
 	if err != nil {
 		return err
 	}

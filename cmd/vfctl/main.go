@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -61,6 +63,9 @@ type Scenario struct {
 	// HostRetries overrides the in-step retry budget for failing host
 	// reads/writes (-1 disables retrying; 0 keeps the default).
 	HostRetries int `json:"host_retries,omitempty"`
+	// MonitorWorkers sizes the monitor stage's read pool (0 =
+	// GOMAXPROCS, 1 = serial). The -monitor-workers flag overrides it.
+	MonitorWorkers int `json:"monitor_workers,omitempty"`
 
 	// Fault injection (sim mode): each listed host call site fails
 	// independently with probability FaultRate. Sites default to the
@@ -109,11 +114,28 @@ func main() {
 	resume := flag.Bool("resume", false, "restore controller state from -checkpoint before the first period")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	linux := flag.Bool("linux", false, "drive the real host via cgroup v2 instead of the simulator")
+	monitorWorkers := flag.Int("monitor-workers", -1,
+		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *example {
 		fmt.Println(exampleScenario)
 		return
+	}
+	// Profiles are flushed explicitly after the run (not deferred) so
+	// they survive the os.Exit in fatal on a failed run.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
 	}
 	if *cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "vfctl: -config is required (try -example)")
@@ -133,15 +155,39 @@ func main() {
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
+	if *monitorWorkers >= 0 {
+		sc.MonitorWorkers = *monitorWorkers
+	}
 	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
 	if *linux {
 		err = runLinux(sc, ck)
 	} else {
 		err = runSim(sc, *csvPath, *snapPath, ck)
 	}
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memProfile != "" {
+		if perr := writeHeapProfile(*memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "vfctl:", perr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// writeHeapProfile dumps the live heap (post-GC, so steady-state objects
+// rather than transient garbage) to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // checkpointOpts carries the crash-recovery flags.
@@ -266,6 +312,7 @@ func controllerConfig(sc Scenario) core.Config {
 	} else if sc.HostRetries < 0 {
 		cfg.HostRetries = 0
 	}
+	cfg.MonitorWorkers = sc.MonitorWorkers
 	cfg.ControlEnabled = sc.Control
 	return cfg
 }

@@ -366,6 +366,110 @@ func ParseCPUStat(content, key string) (int64, error) {
 	return 0, fmt.Errorf("cgroupfs: key %q not in cpu.stat", key)
 }
 
+// ParseCPUStatBytes is ParseCPUStat for a raw read buffer. It performs
+// no allocation, so the controller's monitor stage can call it every
+// period for every vCPU without generating garbage.
+func ParseCPUStatBytes(content []byte, key string) (int64, error) {
+	for len(content) > 0 {
+		line := content
+		if i := indexByte(content, '\n'); i >= 0 {
+			line, content = content[:i], content[i+1:]
+		} else {
+			content = nil
+		}
+		sp := indexByte(line, ' ')
+		if sp < 0 || string(line[:sp]) != key { // compare, no conversion alloc
+			continue
+		}
+		v, ok := parseInt64Bytes(line[sp+1:])
+		if !ok {
+			return 0, fmt.Errorf("cgroupfs: bad %s value %q", key, line)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("cgroupfs: key %q not in cpu.stat", key)
+}
+
+// ParseSingleTID parses a cgroup.threads read without allocating,
+// returning the first thread id and the total number of ids present.
+// Malformed lines yield an error; cardinality is the caller's call.
+func ParseSingleTID(content []byte) (tid, n int, err error) {
+	for len(content) > 0 {
+		line := content
+		if i := indexByte(content, '\n'); i >= 0 {
+			line, content = content[:i], content[i+1:]
+		} else {
+			content = nil
+		}
+		v, ok := parseInt64Bytes(line)
+		if !ok {
+			if isBlank(line) {
+				continue
+			}
+			return 0, 0, fmt.Errorf("cgroupfs: bad tid %q", line)
+		}
+		if n == 0 {
+			tid = int(v)
+		}
+		n++
+	}
+	return tid, n, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func isBlank(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseInt64Bytes parses a possibly whitespace-padded decimal without
+// going through a string.
+func parseInt64Bytes(b []byte) (int64, bool) {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '-' {
+		neg = true
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
 // ParseTIDs parses a cgroup.threads / tasks read.
 func ParseTIDs(content string) ([]int, error) {
 	var out []int

@@ -9,6 +9,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vfreq/internal/core"
 	"vfreq/internal/host"
@@ -38,6 +39,13 @@ type Config struct {
 	// failed node is re-admitted after one clean Step. 0 disables
 	// failure detection.
 	FailThreshold int
+	// Parallel steps the nodes concurrently during Cluster.Step, one
+	// goroutine per node. Nodes share no mutable state while stepping
+	// (each owns its machine, manager, controller and meter), so the
+	// per-node reports, failure counters and energy accounting are
+	// identical to the sequential walk; the failure/evacuation pass and
+	// the error join still run sequentially in node-index order.
+	Parallel bool
 }
 
 func (c Config) withDefaults() Config {
@@ -469,27 +477,29 @@ func (c *Cluster) smallestVM(n *Node) string {
 // A failed node re-admits itself after one clean Step.
 func (c *Cluster) Step() error {
 	period := c.cfg.Controller.PeriodUs
+	if c.cfg.Parallel && len(c.nodes) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(c.nodes))
+		for _, n := range c.nodes {
+			go func(n *Node) {
+				defer wg.Done()
+				c.stepNode(n, period)
+			}(n)
+		}
+		wg.Wait()
+	} else {
+		for _, n := range c.nodes {
+			c.stepNode(n, period)
+		}
+	}
+	// Joining errors after every node has stepped, in node-index order,
+	// keeps the returned error deterministic whether or not the nodes
+	// stepped concurrently.
 	var errs []error
 	for _, n := range c.nodes {
-		n.Machine.Advance(period)
-		n.LastErr = n.Ctrl.Step()
-		n.LastReport = n.Ctrl.LastReport()
 		if n.LastErr != nil {
 			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.Index, n.LastErr))
 		}
-		rep := n.LastReport
-		if n.LastErr != nil || rep.Panicked ||
-			(rep.VCPUs > 0 && rep.DegradedVCPUs == rep.VCPUs) {
-			n.FailedSteps++
-		} else {
-			n.FailedSteps = 0
-			n.Failed = false // the host answers again: re-admit
-		}
-		j := n.Machine.Meter.Joules()
-		if len(n.deployed) > 0 {
-			n.energyJ += j - n.lastJ
-		}
-		n.lastJ = j
 	}
 	c.lastEvacuated, c.lastStranded = 0, 0
 	if c.cfg.FailThreshold > 0 {
@@ -505,6 +515,31 @@ func (c *Cluster) Step() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// stepNode advances one node by a period and runs its controller,
+// updating only that node's state — which is what makes the concurrent
+// Step safe. Energy accrues only while the node hosts at least one VM
+// (idle nodes are modelled as powered off); lastJ is resampled every
+// Step regardless, so joules burnt while idle are discarded rather than
+// attributed to the first period after a deployment.
+func (c *Cluster) stepNode(n *Node, period int64) {
+	n.Machine.Advance(period)
+	n.LastErr = n.Ctrl.Step()
+	n.LastReport = n.Ctrl.LastReport()
+	rep := n.LastReport
+	if n.LastErr != nil || rep.Panicked ||
+		(rep.VCPUs > 0 && rep.DegradedVCPUs == rep.VCPUs) {
+		n.FailedSteps++
+	} else {
+		n.FailedSteps = 0
+		n.Failed = false // the host answers again: re-admit
+	}
+	j := n.Machine.Meter.Joules()
+	if len(n.deployed) > 0 {
+		n.energyJ += j - n.lastJ
+	}
+	n.lastJ = j
 }
 
 // evacuate moves every VM off a failed node, choosing BestFit targets

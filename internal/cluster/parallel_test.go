@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vfreq/internal/host"
+	"vfreq/internal/vm"
+	"vfreq/internal/workload"
+)
+
+// TestIdleToDeployedEnergy pins the energy attribution of Step: joules
+// burnt while a node idles (it is modelled as powered off, but the meter
+// still integrates) must never be attributed to the node's active bill
+// when a VM later arrives — only the periods actually hosting VMs count.
+func TestIdleToDeployedEnergy(t *testing.T) {
+	c, err := New([]host.Spec{host.Chetemi()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle periods: the meter advances, the active bill must not.
+	for i := 0; i < 5; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.ActiveEnergyJoules(); got != 0 {
+		t.Fatalf("idle cluster accrued %.1f J active energy", got)
+	}
+	preDeploy := c.TotalEnergyJoules()
+	if preDeploy <= 0 {
+		t.Fatal("idle meter did not advance; the test proves nothing")
+	}
+
+	if _, err := c.Deploy("a", vm.Small(), busy(vm.Small().VCPUs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	active := c.ActiveEnergyJoules()
+	deployed := c.TotalEnergyJoules() - preDeploy
+	if active <= 0 {
+		t.Fatal("deployed period accrued no active energy")
+	}
+	// The active bill is exactly the post-deploy meter delta: none of
+	// the 5 idle periods leaked in.
+	if math.Abs(active-deployed) > 1e-9 {
+		t.Fatalf("active energy %.3f J != post-deploy delta %.3f J (pre-deploy joules attributed)", active, deployed)
+	}
+}
+
+// stepFingerprint flattens the observable outcome of a cluster run: per
+// node, the controller caps/credits and the report counters, plus the
+// energy bill and migration counters.
+func stepFingerprint(c *Cluster) string {
+	out := ""
+	for _, n := range c.Nodes() {
+		rep := n.LastReport
+		out += fmt.Sprintf("node%d err=%v failed=%d/%v deg=%d/%d faults=%d retries=%d energy=%.6f\n",
+			n.Index, n.LastErr, n.FailedSteps, n.Failed,
+			rep.DegradedVCPUs, rep.VCPUs, rep.FaultCount(), rep.Retries, n.energyJ)
+		for _, st := range n.Ctrl.VMs() {
+			out += fmt.Sprintf("  vm=%s credit=%d", st.Info.Name, st.CreditUs)
+			for _, v := range st.VCPUs {
+				out += fmt.Sprintf(" [%d cap=%d est=%d u=%d f=%.3f]",
+					v.Index, v.CapUs, v.EstUs, v.LastU, v.FreqMHz)
+			}
+			out += "\n"
+		}
+	}
+	out += fmt.Sprintf("migrations=%d evacuations=%d active=%.6f\n",
+		c.Migrations(), c.Evacuations(), c.ActiveEnergyJoules())
+	return out
+}
+
+// buildParallelFixture deploys a deterministic mixed workload across
+// three nodes.
+func buildParallelFixture(t *testing.T, parallel bool) *Cluster {
+	t.Helper()
+	specs := []host.Spec{host.Chetemi(), host.Chiclet(), host.Chetemi()}
+	c, err := New(specs, Config{Parallel: parallel, FailThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		tpl := vm.Small()
+		var srcs []workload.Source
+		switch i % 3 {
+		case 0:
+			srcs = busy(tpl.VCPUs)
+		case 1:
+			for j := 0; j < tpl.VCPUs; j++ {
+				srcs = append(srcs, &workload.Constant{Level: 0.3})
+			}
+		case 2:
+			b, err := workload.NewCompress7zip(tpl.VCPUs, 40_000_000_000, 3, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs = b.Sources()
+		}
+		if _, err := c.Deploy(fmt.Sprintf("vm%02d", i), tpl, srcs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestParallelStepDeterminism runs the same deployment twice — nodes
+// stepped sequentially vs concurrently — and requires identical caps,
+// credits, reports and energy after every Step.
+func TestParallelStepDeterminism(t *testing.T) {
+	seq := buildParallelFixture(t, false)
+	par := buildParallelFixture(t, true)
+	for s := 0; s < 20; s++ {
+		errSeq := seq.Step()
+		errPar := par.Step()
+		if (errSeq == nil) != (errPar == nil) {
+			t.Fatalf("step %d: sequential err=%v parallel err=%v", s, errSeq, errPar)
+		}
+		fpSeq, fpPar := stepFingerprint(seq), stepFingerprint(par)
+		if fpSeq != fpPar {
+			t.Fatalf("step %d diverged:\n--- sequential ---\n%s--- parallel ---\n%s", s, fpSeq, fpPar)
+		}
+	}
+}

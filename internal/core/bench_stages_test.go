@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"vfreq/internal/platform"
+)
+
+// benchHost is a platform.Host whose steady-state read and write paths
+// perform zero heap allocations, so the AllocsPerRun assertions below
+// measure the controller alone — something neither the sim platform
+// (whose dynamic files render strings) nor a real cgroupfs tree can
+// offer inside one process.
+//
+// Every read is pure arithmetic; UsageUs self-advances by a fixed burn
+// per read, giving the estimator a stable consumption signal.
+type benchHost struct {
+	node  platform.NodeInfo
+	infos []platform.VMInfo
+	base  map[string]int // VM name → first flat vCPU index
+	usage []int64
+	burn  int64
+	sets  int
+}
+
+func newBenchHost(vms, vcpus int) *benchHost {
+	h := &benchHost{
+		node: platform.NodeInfo{Name: "bench", Cores: 40, MaxFreqMHz: 2400},
+		base: map[string]int{},
+		burn: 550_000,
+	}
+	for i := 0; i < vms; i++ {
+		name := fmt.Sprintf("b%02d", i)
+		h.base[name] = len(h.usage)
+		h.infos = append(h.infos, platform.VMInfo{Name: name, VCPUs: vcpus, FreqMHz: 1200})
+		for j := 0; j < vcpus; j++ {
+			h.usage = append(h.usage, 0)
+		}
+	}
+	return h
+}
+
+func (h *benchHost) Node() platform.NodeInfo             { return h.node }
+func (h *benchHost) ListVMs() ([]platform.VMInfo, error) { return h.infos, nil }
+
+// UsageUs is called concurrently by monitor workers, but always for
+// distinct flat indices (one worker owns one vCPU's reads), so the
+// element writes don't race.
+func (h *benchHost) UsageUs(vm string, j int) (int64, error) {
+	i := h.base[vm] + j
+	h.usage[i] += h.burn
+	return h.usage[i], nil
+}
+func (h *benchHost) SetMax(vm string, j int, quota, period int64) error {
+	h.sets++
+	return nil
+}
+func (h *benchHost) ClearMax(vm string, j int) error          { return nil }
+func (h *benchHost) SetBurst(vm string, j int, b int64) error { return nil }
+func (h *benchHost) ThreadID(vm string, j int) (int, error)   { return 1000 + h.base[vm] + j, nil }
+func (h *benchHost) LastCPU(tid int) (int, error)             { return tid % h.node.Cores, nil }
+func (h *benchHost) CoreFreqMHz(core int) (int64, error)      { return 2000, nil }
+
+// benchController builds a controller over a benchHost and steps it past
+// warm-up so histories are full and the vCPU set is stable.
+func benchController(tb testing.TB, vms, vcpus, workers int) *Controller {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.MonitorWorkers = workers
+	c, err := New(newBenchHost(vms, vcpus), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestStepZeroAlloc asserts the whole steady-state Step — sync, monitor,
+// estimate, enforce, auction, distribute, apply and the recovery
+// accounting — runs without a single heap allocation once the vCPU set
+// is stable (serial monitor; the worker pool spends a few goroutine
+// spawns when MonitorWorkers > 1).
+func TestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := benchController(t, 20, 2, 1)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMonitorStageZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := benchController(t, 20, 2, 1)
+	var rep StepReport
+	allocs := testing.AllocsPerRun(50, func() {
+		rep = StepReport{}
+		c.monitor(&rep)
+	})
+	if allocs != 0 {
+		t.Fatalf("monitor stage allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestApplyStageZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := benchController(t, 20, 2, 1)
+	var rep StepReport
+	allocs := testing.AllocsPerRun(50, func() {
+		rep = StepReport{}
+		c.apply(&rep)
+	})
+	if allocs != 0 {
+		t.Fatalf("apply stage allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkMonitorStage measures stage 1 alone across worker counts (the
+// benchHost reads are pure memory, so workers > 1 shows pool overhead
+// here and pays off only on hosts with real I/O latency).
+func BenchmarkMonitorStage(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := benchController(b, 40, 2, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rep StepReport
+			for i := 0; i < b.N; i++ {
+				rep = StepReport{}
+				c.monitor(&rep)
+			}
+			_ = rep
+		})
+	}
+}
+
+// BenchmarkApplyStage measures stage 6 alone: quota computation plus the
+// host writes.
+func BenchmarkApplyStage(b *testing.B) {
+	c := benchController(b, 40, 2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep StepReport
+	for i := 0; i < b.N; i++ {
+		rep = StepReport{}
+		c.apply(&rep)
+	}
+	_ = rep
+}
+
+// BenchmarkSteadyStep measures the full six-stage Step on the zero-alloc
+// host — the controller's own cost with the platform out of the picture.
+func BenchmarkSteadyStep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := benchController(b, 40, 2, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

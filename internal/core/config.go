@@ -90,6 +90,16 @@ type Config struct {
 	// overrunning (Overrun in the StepReport, with skipped-period
 	// accounting). 0 disables the deadline.
 	StepDeadlineFrac float64
+	// MonitorWorkers bounds the worker pool that fans the per-vCPU
+	// monitor reads (cpu.stat, cgroup.threads, /proc/<tid>/stat,
+	// scaling_cur_freq) across goroutines. The reads are I/O-bound, not
+	// CPU-bound, so parallelising them is what keeps one Step inside the
+	// paper's ~5 ms budget as the vCPU count grows. Workers only read;
+	// the results are committed sequentially in registration order, so
+	// every computed cap, credit and degradation record is identical to
+	// the serial stage. 0 means GOMAXPROCS; 1 runs the stage serially
+	// (the exact pre-pool behaviour).
+	MonitorWorkers int
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -110,6 +120,7 @@ func DefaultConfig() Config {
 		HostRetries:      1,
 		RecoverySteps:    1,
 		StepDeadlineFrac: 0.5,
+		MonitorWorkers:   0, // auto: GOMAXPROCS
 	}
 }
 
@@ -162,6 +173,9 @@ func (c Config) Validate() error {
 	}
 	if c.StepDeadlineFrac < 0 || c.StepDeadlineFrac > 1 {
 		return fmt.Errorf("core: step deadline fraction %g outside [0, 1]", c.StepDeadlineFrac)
+	}
+	if c.MonitorWorkers < 0 || c.MonitorWorkers > 4096 {
+		return fmt.Errorf("core: monitor workers %d outside [0, 4096]", c.MonitorWorkers)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vfreq/internal/platform"
@@ -84,6 +86,14 @@ type Controller struct {
 	// store, when attached, receives a checkpoint every
 	// Config.CheckpointEvery completed Steps.
 	store platform.Store
+
+	// Reused per-Step scratch, so the steady-state control loop runs
+	// without heap allocations: the monitor read slots, the sync-stage
+	// seen set and the auction/distribution buyer list all keep their
+	// backing storage across Steps.
+	monSlots  []monitorSlot
+	seen      map[string]bool
+	buyersBuf []*VCPUState
 }
 
 // New creates a controller.
@@ -216,7 +226,12 @@ func (c *Controller) syncVMs(rep *StepReport) error {
 	if err != nil {
 		return fmt.Errorf("core: listing VMs: %w", err)
 	}
-	seen := map[string]bool{}
+	if c.seen == nil {
+		c.seen = make(map[string]bool, len(infos))
+	} else {
+		clear(c.seen)
+	}
+	seen := c.seen
 	for _, info := range infos {
 		seen[info.Name] = true
 		if st, ok := c.vms[info.Name]; ok {
@@ -446,72 +461,219 @@ func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
 	return nil
 }
 
+// monitorSlot carries one vCPU's raw host readings from the (possibly
+// concurrent) read pass of the monitor stage to its sequential commit
+// pass. Each worker owns exactly the slots it was handed, so the slots
+// need no locking.
+type monitorSlot struct {
+	v       *VCPUState
+	usage   int64
+	freq    int64
+	tid     int
+	core    int
+	retries int
+	op      string
+	err     error
+}
+
 // monitor implements stage 1: read consumption deltas, thread placement
 // and core frequencies, and derive each vCPU's virtual frequency
 // estimate. The thread location is read once per iteration, as discussed
 // in §III-B1 of the paper.
+//
+// The stage is split in two passes. The read pass performs the four host
+// reads per vCPU and may fan out across Config.MonitorWorkers goroutines
+// (the reads are I/O-bound syscalls on a real host, so this is where the
+// paper's 4-of-5 ms monitoring budget goes). The commit pass then applies
+// the readings to the controller state strictly in registration order on
+// the stepping goroutine, so histories, degradation accounting and report
+// contents are bit-identical no matter how the reads were scheduled.
 //
 // The reads of one vCPU commit atomically: when any of them fails (after
 // the configured retries) the vCPU keeps its previous bookkeeping and is
 // marked degraded for this Step, so a later successful read observes one
 // consistent cumulative delta instead of a half-updated state.
 func (c *Controller) monitor(rep *StepReport) {
+	slots := c.monSlots[:0]
 	for _, name := range c.order {
-		st := c.vms[name]
-		for _, v := range st.VCPUs {
-			if op, err := c.monitorOne(rep, v); err != nil {
-				v.Degraded = true
-				v.FailedSteps++
-				rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "monitor", Op: op, Err: err})
-			} else {
-				// FailedSteps holds until enough clean Steps pass; the
-				// recovery accounting runs at the end of Step, after
-				// apply had its chance to degrade the vCPU again.
-				v.Degraded = false
-			}
+		for _, v := range c.vms[name].VCPUs {
+			slots = append(slots, monitorSlot{v: v})
 		}
+	}
+	c.monSlots = slots
+
+	workers := c.cfg.MonitorWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	if workers <= 1 {
+		for i := range slots {
+			c.readVCPU(&slots[i])
+		}
+	} else {
+		// A separate method keeps the goroutine closure out of this
+		// function, so the serial path stays allocation-free (a closure
+		// capturing slots would force the slice header to the heap).
+		c.readParallel(slots, workers)
+	}
+
+	for i := range slots {
+		c.commitVCPU(rep, &slots[i])
+		slots[i].v = nil // don't pin departed VMs through the reused buffer
 	}
 }
 
-// monitorOne gathers one vCPU's readings and commits them only when all
-// four host reads succeed. It returns the failed operation name on error.
-func (c *Controller) monitorOne(rep *StepReport, v *VCPUState) (string, error) {
-	usage, err := c.retryUsage(rep, v.VM, v.Index)
-	if err != nil {
-		return "usage", err
+// readParallel fans readVCPU over a pool of worker goroutines pulling
+// slot indices from a shared atomic counter. The goroutines are
+// per-Step rather than a persistent pool: the controller has no
+// shutdown hook, and the spawn cost is dwarfed by the syscalls the
+// workers exist to overlap.
+//
+// A panic inside a worker would crash the process before the Step
+// watchdog's recover could see it, so each worker catches its panic and
+// readParallel re-raises one on the stepping goroutine — restoring the
+// exact degraded-step semantics of the serial stage.
+func (c *Controller) readParallel(slots []monitorSlot, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(slots) {
+					return
+				}
+				c.readVCPU(&slots[i])
+			}
+		}()
 	}
-	var tid int
-	if err := c.withRetry(rep, func() error {
-		var e error
-		tid, e = c.host.ThreadID(v.VM, v.Index)
-		return e
-	}); err != nil {
-		return "tid", err
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
 	}
-	var core int
-	if err := c.withRetry(rep, func() error {
-		var e error
-		core, e = c.host.LastCPU(tid)
-		return e
-	}); err != nil {
-		return "lastcpu", err
+}
+
+// readVCPU performs one vCPU's four host reads, with bounded in-step
+// retry, into its slot. This is the only part of the monitor stage that
+// may run concurrently; it touches nothing but the slot and the
+// (read-only) host.
+func (c *Controller) readVCPU(s *monitorSlot) {
+	v := s.v
+	tries := c.cfg.HostRetries + 1
+
+	ok := false
+	for a := 0; a < tries; a++ {
+		u, err := c.host.UsageUs(v.VM, v.Index)
+		if err == nil {
+			s.usage = u
+			if a > 0 {
+				s.retries++
+			}
+			ok = true
+			break
+		}
+		s.err = err
 	}
-	var freq int64
-	if err := c.withRetry(rep, func() error {
-		var e error
-		freq, e = c.host.CoreFreqMHz(core)
-		return e
-	}); err != nil {
-		return "freq", err
+	if !ok {
+		s.op = "usage"
+		return
 	}
+
+	ok = false
+	for a := 0; a < tries; a++ {
+		tid, err := c.host.ThreadID(v.VM, v.Index)
+		if err == nil {
+			s.tid = tid
+			if a > 0 {
+				s.retries++
+			}
+			ok = true
+			break
+		}
+		s.err = err
+	}
+	if !ok {
+		s.op = "tid"
+		return
+	}
+
+	ok = false
+	for a := 0; a < tries; a++ {
+		core, err := c.host.LastCPU(s.tid)
+		if err == nil {
+			s.core = core
+			if a > 0 {
+				s.retries++
+			}
+			ok = true
+			break
+		}
+		s.err = err
+	}
+	if !ok {
+		s.op = "lastcpu"
+		return
+	}
+
+	ok = false
+	for a := 0; a < tries; a++ {
+		freq, err := c.host.CoreFreqMHz(s.core)
+		if err == nil {
+			s.freq = freq
+			if a > 0 {
+				s.retries++
+			}
+			ok = true
+			break
+		}
+		s.err = err
+	}
+	if !ok {
+		s.op = "freq"
+		return
+	}
+	s.err = nil
+}
+
+// commitVCPU applies one slot's readings to the controller state. Commits
+// run in registration order on the stepping goroutine only.
+func (c *Controller) commitVCPU(rep *StepReport, s *monitorSlot) {
+	v := s.v
+	rep.Retries += s.retries
+	if s.err != nil {
+		v.Degraded = true
+		v.FailedSteps++
+		rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "monitor", Op: s.op, Err: s.err})
+		return
+	}
+	// FailedSteps holds until enough clean Steps pass; the recovery
+	// accounting runs at the end of Step, after apply had its chance to
+	// degrade the vCPU again.
+	v.Degraded = false
 
 	if v.warm {
 		// Registered this step: the delta against the registration
 		// reading spans no time yet.
-		v.PrevUsageUs = usage
+		v.PrevUsageUs = s.usage
 		v.warm = false
 	} else {
-		u := usage - v.PrevUsageUs
+		u := s.usage - v.PrevUsageUs
 		if u < 0 {
 			u = 0 // counter reset (VM restart)
 		}
@@ -520,14 +682,13 @@ func (c *Controller) monitorOne(rep *StepReport, v *VCPUState) (string, error) {
 			// to the per-period maximum a single thread can attain.
 			u = c.cfg.PeriodUs
 		}
-		v.PrevUsageUs = usage
+		v.PrevUsageUs = s.usage
 		v.LastU = u
 		v.Hist.Push(u)
 	}
-	v.TID = tid
-	v.LastCore = core
-	v.FreqMHz = float64(v.LastU) / float64(c.cfg.PeriodUs) * float64(freq)
-	return "", nil
+	v.TID = s.tid
+	v.LastCore = s.core
+	v.FreqMHz = float64(v.LastU) / float64(c.cfg.PeriodUs) * float64(s.freq)
 }
 
 // market computes Eq. 6: the cycles of the next period not allocated to
@@ -549,8 +710,10 @@ func (c *Controller) market() int64 {
 // buyers returns the vCPUs whose estimate exceeds their cap, i.e. those
 // that want to buy cycles, grouped per VM in a stable order. Degraded
 // vCPUs never buy: their estimate is stale and their cap is held.
+// The returned slice aliases a buffer reused across Steps; it is valid
+// until the next buyers call.
 func (c *Controller) buyers() []*VCPUState {
-	var out []*VCPUState
+	out := c.buyersBuf[:0]
 	for _, name := range c.order {
 		for _, v := range c.vms[name].VCPUs {
 			if !v.Degraded && v.CapUs < v.EstUs {
@@ -558,14 +721,24 @@ func (c *Controller) buyers() []*VCPUState {
 			}
 		}
 	}
+	c.buyersBuf = out
 	return out
 }
 
 // sortByCredit orders buyers so that vCPUs of VMs with larger wallets come
 // first — the paper's "priority to VMs that used this possibility of
-// allocation burst less often".
+// allocation burst less often". A stable insertion sort (buyer lists are
+// bounded by the vCPUs of one node) keeps the auction path free of the
+// allocations sort.SliceStable would add.
 func (c *Controller) sortByCredit(buyers []*VCPUState) {
-	sort.SliceStable(buyers, func(i, j int) bool {
-		return c.vms[buyers[i].VM].CreditUs > c.vms[buyers[j].VM].CreditUs
-	})
+	for i := 1; i < len(buyers); i++ {
+		b := buyers[i]
+		cr := c.vms[b.VM].CreditUs
+		j := i
+		for j > 0 && c.vms[buyers[j-1].VM].CreditUs < cr {
+			buyers[j] = buyers[j-1]
+			j--
+		}
+		buyers[j] = b
+	}
 }

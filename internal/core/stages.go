@@ -210,9 +210,19 @@ func (c *Controller) apply(rep *StepReport) {
 			if quota < c.cfg.MinQuotaUs {
 				quota = c.cfg.MinQuotaUs
 			}
-			if err := c.withRetry(rep, func() error {
-				return c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs)
-			}); err != nil {
+			// Explicit retry loops instead of withRetry: the closure a
+			// per-vCPU capture would need escapes to the heap, and apply
+			// is part of the allocation-free steady-state path.
+			var err error
+			for a := 0; a <= c.cfg.HostRetries; a++ {
+				if err = c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err == nil {
+					if a > 0 {
+						rep.Retries++
+					}
+					break
+				}
+			}
+			if err != nil {
 				v.Degraded = true
 				v.FailedSteps++
 				rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setmax", Err: err})
@@ -220,9 +230,15 @@ func (c *Controller) apply(rep *StepReport) {
 			}
 			if c.cfg.BurstFraction > 0 {
 				burst := int64(float64(quota) * c.cfg.BurstFraction)
-				if err := c.withRetry(rep, func() error {
-					return c.host.SetBurst(v.VM, v.Index, burst)
-				}); err != nil {
+				for a := 0; a <= c.cfg.HostRetries; a++ {
+					if err = c.host.SetBurst(v.VM, v.Index, burst); err == nil {
+						if a > 0 {
+							rep.Retries++
+						}
+						break
+					}
+				}
+				if err != nil {
 					v.Degraded = true
 					v.FailedSteps++
 					rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setburst", Err: err})

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"vfreq/internal/platform"
+)
+
+// faultScriptHost wraps fakeHost with deterministic, step-addressed
+// usage-read failures: the same (step, vm/vcpu) pairs fail no matter how
+// many times or in which order the reads happen, so serial and pooled
+// monitor stages observe identical faults.
+type faultScriptHost struct {
+	*fakeHost
+	step  int64
+	fails map[string]bool // "step:vm/j"
+}
+
+func (f *faultScriptHost) UsageUs(vm string, j int) (int64, error) {
+	if f.fails[fmt.Sprintf("%d:%s/%d", f.step, vm, j)] {
+		return 0, fmt.Errorf("scripted usage fault")
+	}
+	return f.fakeHost.UsageUs(vm, j)
+}
+
+// reportSummary renders the deterministic part of a StepReport (i.e.
+// everything except wall-clock timings).
+func reportSummary(rep StepReport) string {
+	s := fmt.Sprintf("%s retries=%d recovered=%d dropped=%d", rep.String(),
+		rep.Retries, rep.Recovered, rep.FaultsDropped)
+	for _, f := range rep.Faults {
+		s += "\n  " + f.Error()
+	}
+	return s
+}
+
+// scriptedTwin builds one controller over a scripted host; consumption
+// and fault schedules are functions of the step number only.
+func scriptedTwin(t *testing.T, workers int) (*Controller, *faultScriptHost) {
+	t.Helper()
+	fh := newFakeHost()
+	fh.node.Cores = 8
+	for i := 0; i < 6; i++ {
+		fh.addVM(fmt.Sprintf("vm%d", i), 2, 1200)
+	}
+	h := &faultScriptHost{fakeHost: fh, fails: map[string]bool{}}
+	// Degrade vm2/0 on steps 5–6 (past the retry budget, since the
+	// fault holds for the whole step) and vm4/1 on step 9.
+	h.fails["5:vm2/0"] = true
+	h.fails["6:vm2/0"] = true
+	h.fails["9:vm4/1"] = true
+	cfg := DefaultConfig()
+	cfg.MonitorWorkers = workers
+	cfg.BurstFraction = 0.2
+	ctrl := mustController(t, h, cfg)
+	return ctrl, h
+}
+
+// advanceTwin applies the step's scripted consumption and runs one Step.
+func advanceTwin(t *testing.T, ctrl *Controller, h *faultScriptHost, step int64) StepReport {
+	t.Helper()
+	h.step = step
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 2; j++ {
+			// A deterministic, per-vCPU-distinct pattern that crosses
+			// the increase and decrease triggers over the run.
+			u := (step*97_000 + int64(i)*53_000 + int64(j)*31_000) % 1_000_000
+			h.consume(fmt.Sprintf("vm%d", i), j, u)
+		}
+	}
+	if err := ctrl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	return ctrl.LastReport()
+}
+
+// TestMonitorWorkersDeterminism proves the tentpole's core promise: the
+// pooled monitor stage is observationally identical to the serial one.
+// Two controllers run the same scripted workload — including scripted
+// read faults and recoveries — with MonitorWorkers=1 vs =8, and every
+// Step must produce bit-identical reports and checkpoints.
+func TestMonitorWorkersDeterminism(t *testing.T) {
+	serial, hs := scriptedTwin(t, 1)
+	pooled, hp := scriptedTwin(t, 8)
+	sawDegraded := false
+	for step := int64(1); step <= 15; step++ {
+		repS := advanceTwin(t, serial, hs, step)
+		repP := advanceTwin(t, pooled, hp, step)
+		if s, p := reportSummary(repS), reportSummary(repP); s != p {
+			t.Fatalf("step %d reports diverged:\nserial: %s\npooled: %s", step, s, p)
+		}
+		if repS.DegradedVCPUs > 0 {
+			sawDegraded = true
+		}
+		snapS, err := serial.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapP, err := pooled.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The snapshots embed wall-clock stage timings, the one field
+		// that legitimately differs — neutralise before comparing.
+		s, p := stripTimings(snapS), stripTimings(snapP)
+		if s != p {
+			t.Fatalf("step %d checkpoints diverged:\nserial:\n%s\npooled:\n%s", step, s, p)
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("fault schedule never degraded a vCPU; the test lost its teeth")
+	}
+	// The quotas written to the host must match too.
+	for k, v := range hs.setMax {
+		if hp.setMax[k] != v {
+			t.Fatalf("final quota for %s: serial %v, pooled %v", k, v, hp.setMax[k])
+		}
+	}
+}
+
+// TestMonitorWorkersAuto ensures the GOMAXPROCS default (MonitorWorkers
+// = 0) and an explicit over-provisioned pool (more workers than vCPUs)
+// both step correctly.
+func TestMonitorWorkersAuto(t *testing.T) {
+	for _, workers := range []int{0, 64} {
+		h := newFakeHost()
+		h.addVM("a", 2, 1200)
+		cfg := DefaultConfig()
+		cfg.MonitorWorkers = workers
+		ctrl := mustController(t, h, cfg)
+		for s := 0; s < 3; s++ {
+			h.consume("a", 0, 400_000)
+			h.consume("a", 1, 400_000)
+			if err := ctrl.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep := ctrl.LastReport()
+		if rep.HealthyVCPUs != 2 || rep.DegradedVCPUs != 0 {
+			t.Fatalf("workers=%d: report %s", workers, rep)
+		}
+		if ctrl.VM("a").VCPUs[0].LastU != 400_000 {
+			t.Fatalf("workers=%d: LastU = %d", workers, ctrl.VM("a").VCPUs[0].LastU)
+		}
+	}
+}
+
+var timingFields = regexp.MustCompile(`"(step|monitor)_micros": \d+`)
+
+func stripTimings(snap []byte) string {
+	return timingFields.ReplaceAllString(string(snap), `"$1_micros": X`)
+}
+
+var _ platform.Host = (*faultScriptHost)(nil)

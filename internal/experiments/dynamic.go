@@ -33,6 +33,9 @@ type DynamicClusterExperiment struct {
 	// FailThreshold enables node-failure detection and evacuation (see
 	// cluster.Config.FailThreshold); 0 disables it.
 	FailThreshold int
+	// Parallel steps the cluster's nodes concurrently (see
+	// cluster.Config.Parallel); results are identical either way.
+	Parallel bool
 }
 
 // DynamicResult summarises a dynamic run.
@@ -65,7 +68,11 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 	if e.Steps <= 0 || e.ArrivalsPerStep <= 0 || e.MeanLifetimeSteps <= 0 {
 		return nil, fmt.Errorf("experiments: dynamic run needs positive steps, arrivals and lifetime")
 	}
-	cl, err := cluster.New(e.Nodes, cluster.Config{Policy: e.Policy, FailThreshold: e.FailThreshold})
+	cl, err := cluster.New(e.Nodes, cluster.Config{
+		Policy:        e.Policy,
+		FailThreshold: e.FailThreshold,
+		Parallel:      e.Parallel,
+	})
 	if err != nil {
 		return nil, err
 	}

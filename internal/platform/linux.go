@@ -2,9 +2,12 @@ package platform
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 
 	"vfreq/internal/cgroupfs"
 	"vfreq/internal/procfs"
@@ -18,6 +21,15 @@ import (
 // Template virtual frequencies are not stored in the kernel; they are
 // supplied via Freqs, keyed by VM name, playing the role of the cloud
 // manager's template database.
+//
+// The per-period paths (UsageUs, ThreadID, LastCPU, CoreFreqMHz, SetMax,
+// SetBurst) keep their files open and pread/pwrite at offset zero into
+// per-file scratch buffers, so a steady-state control Step performs no
+// path construction, no open/close churn and no heap allocation. A
+// failed read or write closes and drops the descriptor, and the next
+// call reopens the path — which is how cgroup recreation on VM restart
+// is picked up. All methods are safe for concurrent use by the monitor
+// worker pool.
 type Linux struct {
 	NodeName   string
 	CgroupRoot string // e.g. /sys/fs/cgroup/machine.slice
@@ -26,6 +38,175 @@ type Linux struct {
 	MaxFreqMHz int64
 	Cores      int
 	Freqs      map[string]int64 // VM name → template frequency (MHz)
+
+	// mu guards the lazily-built handle caches. Hot paths hold it only
+	// for a map lookup; opening, pruning and invalidation are rare.
+	mu    sync.Mutex
+	vcpus map[vcpuRef]*vcpuFiles
+	procs map[int]*handle
+	cores map[int]*handle
+}
+
+type vcpuRef struct {
+	vm   string
+	vcpu int
+}
+
+// vcpuFiles caches one vCPU cgroup's directory path and control files.
+type vcpuFiles struct {
+	dir     string
+	stat    handle // cpu.stat (read)
+	threads handle // cgroup.threads (read)
+	max     handle // cpu.max (write)
+	burst   handle // cpu.max.burst (write)
+}
+
+// handle is one kept-open file plus its scratch buffer. Reads pread at
+// offset zero, so no seek position is shared; the mutex serialises the
+// buffer between monitor workers (two vCPUs that last ran on the same
+// core read the same scaling_cur_freq handle concurrently).
+type handle struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	buf  [512]byte
+}
+
+// read returns the file's current contents, pread into the handle's
+// scratch. The caller must hold h.mu while using the returned slice. A
+// failed read drops the descriptor so the next call reopens the path.
+func (h *handle) read() ([]byte, error) {
+	if h.f == nil {
+		f, err := os.Open(h.path)
+		if err != nil {
+			return nil, err
+		}
+		h.f = f
+	}
+	n, err := h.f.ReadAt(h.buf[:], 0)
+	if err != nil && err != io.EOF {
+		h.f.Close()
+		h.f = nil
+		return nil, err
+	}
+	return h.buf[:n], nil
+}
+
+// write pwrites the payload at offset zero. The caller must hold h.mu.
+// Control files treat every write as a full transaction; regular files
+// (tests) would keep stale trailing bytes, so the length is truncated —
+// kernfs rejects the truncate, which is ignored.
+func (h *handle) write(payload []byte) error {
+	if h.f == nil {
+		f, err := os.OpenFile(h.path, os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		h.f = f
+	}
+	if _, err := h.f.WriteAt(payload, 0); err != nil {
+		h.f.Close()
+		h.f = nil
+		return err
+	}
+	_ = h.f.Truncate(int64(len(payload)))
+	return nil
+}
+
+func (h *handle) close() {
+	h.mu.Lock()
+	if h.f != nil {
+		h.f.Close()
+		h.f = nil
+	}
+	h.mu.Unlock()
+}
+
+// vcpu returns (building on first use) the cached files of one vCPU.
+func (l *Linux) vcpu(vm string, vcpu int) *vcpuFiles {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.vcpus == nil {
+		l.vcpus = map[vcpuRef]*vcpuFiles{}
+	}
+	ref := vcpuRef{vm: vm, vcpu: vcpu}
+	vf, ok := l.vcpus[ref]
+	if !ok {
+		dir := filepath.Join(l.CgroupRoot, "machine-qemu-"+vm+".scope", "vcpu"+strconv.Itoa(vcpu))
+		vf = &vcpuFiles{dir: dir}
+		vf.stat.path = filepath.Join(dir, "cpu.stat")
+		vf.threads.path = filepath.Join(dir, "cgroup.threads")
+		vf.max.path = filepath.Join(dir, "cpu.max")
+		vf.burst.path = filepath.Join(dir, "cpu.max.burst")
+		l.vcpus[ref] = vf
+	}
+	return vf
+}
+
+// proc returns the cached /proc/<tid>/stat handle.
+func (l *Linux) proc(tid int) *handle {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.procs == nil {
+		l.procs = map[int]*handle{}
+	}
+	h, ok := l.procs[tid]
+	if !ok {
+		h = &handle{path: filepath.Join(l.ProcRoot, strconv.Itoa(tid), "stat")}
+		l.procs[tid] = h
+	}
+	return h
+}
+
+// dropProc evicts a dead thread's handle (vCPU threads churn on VM
+// restart; core and vCPU handles are pruned via ListVMs instead).
+func (l *Linux) dropProc(tid int) {
+	l.mu.Lock()
+	if h, ok := l.procs[tid]; ok {
+		delete(l.procs, tid)
+		l.mu.Unlock()
+		h.close()
+		return
+	}
+	l.mu.Unlock()
+}
+
+// core returns the cached scaling_cur_freq handle of one core.
+func (l *Linux) core(core int) *handle {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cores == nil {
+		l.cores = map[int]*handle{}
+	}
+	h, ok := l.cores[core]
+	if !ok {
+		h = &handle{path: sysfs.CurFreqPath(l.SysCPURoot, core)}
+		l.cores[core] = h
+	}
+	return h
+}
+
+// pruneDeparted closes and forgets the cached files of VMs (or trailing
+// vCPUs after a shrink) no longer present on the host.
+func (l *Linux) pruneDeparted(live []VMInfo) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for ref, vf := range l.vcpus {
+		found := false
+		for i := range live {
+			if live[i].Name == ref.vm && ref.vcpu < live[i].VCPUs {
+				found = true
+				break
+			}
+		}
+		if !found {
+			vf.stat.close()
+			vf.threads.close()
+			vf.max.close()
+			vf.burst.close()
+			delete(l.vcpus, ref)
+		}
+	}
 }
 
 // NewLinux builds a backend for the standard mount points. It fails if
@@ -101,31 +282,37 @@ func (l *Linux) ListVMs() ([]VMInfo, error) {
 		}
 		out = append(out, VMInfo{Name: name, VCPUs: vcpus, FreqMHz: freq})
 	}
+	l.pruneDeparted(out)
 	return out, nil
-}
-
-func (l *Linux) vcpuDir(vm string, vcpu int) string {
-	return filepath.Join(l.CgroupRoot, "machine-qemu-"+vm+".scope", fmt.Sprintf("vcpu%d", vcpu))
 }
 
 // UsageUs implements Host.
 func (l *Linux) UsageUs(vm string, vcpu int) (int64, error) {
-	b, err := os.ReadFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.stat"))
+	h := &l.vcpu(vm, vcpu).stat
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := h.read()
 	if err != nil {
 		return 0, err
 	}
-	return cgroupfs.ParseCPUStat(string(b), "usage_usec")
+	return cgroupfs.ParseCPUStatBytes(b, "usage_usec")
 }
 
 // SetMax implements Host.
 func (l *Linux) SetMax(vm string, vcpu int, quotaUs, periodUs int64) error {
-	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"),
-		[]byte(fmt.Sprintf("%d %d", quotaUs, periodUs)), 0o644)
+	h := &l.vcpu(vm, vcpu).max
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := strconv.AppendInt(h.buf[:0], quotaUs, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, periodUs, 10)
+	return h.write(b)
 }
 
-// ReadMax implements QuotaReader.
+// ReadMax implements QuotaReader. It is an inspection path, not part of
+// the control loop, so it reads through the path like any tool would.
 func (l *Linux) ReadMax(vm string, vcpu int) (int64, int64, error) {
-	b, err := os.ReadFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"))
+	b, err := os.ReadFile(l.vcpu(vm, vcpu).max.path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -139,50 +326,68 @@ func (l *Linux) ReadMax(vm string, vcpu int) (int64, int64, error) {
 	return quota, period, nil
 }
 
+var clearMaxPayload = []byte("max")
+
 // ClearMax implements Host.
 func (l *Linux) ClearMax(vm string, vcpu int) error {
-	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max"), []byte("max"), 0o644)
+	h := &l.vcpu(vm, vcpu).max
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.write(clearMaxPayload)
 }
 
 // SetBurst implements Host.
 func (l *Linux) SetBurst(vm string, vcpu int, burstUs int64) error {
-	return os.WriteFile(filepath.Join(l.vcpuDir(vm, vcpu), "cpu.max.burst"),
-		[]byte(fmt.Sprintf("%d", burstUs)), 0o644)
+	h := &l.vcpu(vm, vcpu).burst
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.write(strconv.AppendInt(h.buf[:0], burstUs, 10))
 }
 
 // ThreadID implements Host.
 func (l *Linux) ThreadID(vm string, vcpu int) (int, error) {
-	b, err := os.ReadFile(filepath.Join(l.vcpuDir(vm, vcpu), "cgroup.threads"))
+	h := &l.vcpu(vm, vcpu).threads
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := h.read()
 	if err != nil {
 		return 0, err
 	}
-	ids, err := cgroupfs.ParseTIDs(string(b))
+	tid, n, err := cgroupfs.ParseSingleTID(b)
 	if err != nil {
 		return 0, err
 	}
-	if len(ids) != 1 {
-		return 0, fmt.Errorf("platform: vCPU cgroup holds %d threads, want 1", len(ids))
+	if n != 1 {
+		return 0, fmt.Errorf("platform: vCPU cgroup holds %d threads, want 1", n)
 	}
-	return ids[0], nil
+	return tid, nil
 }
 
 // LastCPU implements Host.
 func (l *Linux) LastCPU(tid int) (int, error) {
-	b, err := os.ReadFile(filepath.Join(l.ProcRoot, fmt.Sprint(tid), "stat"))
+	h := l.proc(tid)
+	h.mu.Lock()
+	b, err := h.read()
 	if err != nil {
+		h.mu.Unlock()
+		l.dropProc(tid) // the thread is likely gone; stop caching it
 		return 0, err
 	}
-	return procfs.ParseStatLastCPU(string(b))
+	cpu, err := procfs.ParseStatLastCPUBytes(b)
+	h.mu.Unlock()
+	return cpu, err
 }
 
 // CoreFreqMHz implements Host.
 func (l *Linux) CoreFreqMHz(core int) (int64, error) {
-	b, err := os.ReadFile(filepath.Join(l.SysCPURoot,
-		fmt.Sprintf("cpu%d/cpufreq/scaling_cur_freq", core)))
+	h := l.core(core)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := h.read()
 	if err != nil {
 		return 0, err
 	}
-	khz, err := sysfs.ParseKHz(string(b))
+	khz, err := sysfs.ParseKHzBytes(b)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,98 @@
+package platform
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestLinuxCachedReadsSeeFreshContent: the kept-open descriptors pread at
+// offset zero, so a counter that advances between periods (as cpu.stat
+// does) is re-read, not served stale — including after the file shrinks.
+func TestLinuxCachedReadsSeeFreshContent(t *testing.T) {
+	l := fixtureHost(t)
+	statPath := filepath.Join(l.CgroupRoot, "machine-qemu-guest1.scope/vcpu0/cpu.stat")
+
+	if u, err := l.UsageUs("guest1", 0); err != nil || u != 123456 {
+		t.Fatalf("first read: %d, %v", u, err)
+	}
+	if err := os.WriteFile(statPath, []byte("usage_usec 123999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if u, err := l.UsageUs("guest1", 0); err != nil || u != 123999 {
+		t.Fatalf("second read: %d, %v (stale descriptor?)", u, err)
+	}
+	// Shrinking content (shorter than the previous read) must not leave
+	// trailing garbage in the parse.
+	if err := os.WriteFile(statPath, []byte("usage_usec 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if u, err := l.UsageUs("guest1", 0); err != nil || u != 7 {
+		t.Fatalf("shrunk read: %d, %v", u, err)
+	}
+}
+
+// TestLinuxReopensAfterError: a vanished-and-recreated cgroup (VM
+// restart) invalidates the cached descriptor, and the next read reopens
+// the path instead of failing forever.
+func TestLinuxReopensAfterError(t *testing.T) {
+	l := fixtureHost(t)
+	dir := filepath.Join(l.CgroupRoot, "machine-qemu-guest1.scope/vcpu0")
+	if _, err := l.UsageUs("guest1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The open descriptor still answers preads on most filesystems, so
+	// force the miss by pruning (what ListVMs does when the VM vanishes).
+	l.pruneDeparted(nil)
+	if _, err := l.UsageUs("guest1", 0); err == nil {
+		t.Fatal("read of removed cgroup succeeded")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cpu.stat"), []byte("usage_usec 55\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if u, err := l.UsageUs("guest1", 0); err != nil || u != 55 {
+		t.Fatalf("read after recreation: %d, %v", u, err)
+	}
+}
+
+// TestLinuxConcurrentReads hammers the shared handles (same core's
+// scaling_cur_freq, both vCPUs' files) from many goroutines, the access
+// pattern of the monitor worker pool. Run under -race it proves the
+// per-handle locking.
+func TestLinuxConcurrentReads(t *testing.T) {
+	l := fixtureHost(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				vcpu := (w + i) % 2
+				if _, err := l.UsageUs("guest1", vcpu); err != nil {
+					t.Errorf("usage: %v", err)
+					return
+				}
+				if _, err := l.ThreadID("guest1", vcpu); err != nil {
+					t.Errorf("tid: %v", err)
+					return
+				}
+				if _, err := l.CoreFreqMHz(1); err != nil {
+					t.Errorf("freq: %v", err)
+					return
+				}
+				if _, err := l.LastCPU(4242); err != nil {
+					t.Errorf("lastcpu: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

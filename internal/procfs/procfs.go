@@ -145,6 +145,54 @@ func ParseStatLastCPU(line string) (int, error) {
 	return cpu, nil
 }
 
+// ParseStatLastCPUBytes is ParseStatLastCPU for a raw read buffer; it
+// walks the fields in place instead of splitting, so the per-period
+// placement read allocates nothing.
+func ParseStatLastCPUBytes(line []byte) (int, error) {
+	end := -1
+	for i := len(line) - 1; i >= 0; i-- {
+		if line[i] == ')' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return 0, fmt.Errorf("procfs: malformed stat line %q", line)
+	}
+	rest := line[end+1:]
+	// The first field after the comm is field 3 (state); processor is
+	// field 39, i.e. the 37th here.
+	const want = 36
+	field, i := 0, 0
+	for {
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i >= len(rest) {
+			return 0, fmt.Errorf("procfs: stat line too short (%d fields after comm)", field)
+		}
+		start := i
+		for i < len(rest) && !isSpace(rest[i]) {
+			i++
+		}
+		if field == want {
+			var cpu int
+			for _, c := range rest[start:i] {
+				if c < '0' || c > '9' {
+					return 0, fmt.Errorf("procfs: bad processor field %q", rest[start:i])
+				}
+				cpu = cpu*10 + int(c-'0')
+			}
+			return cpu, nil
+		}
+		field++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
 // ParseStatUtimeTicks extracts the utime field (clock ticks).
 func ParseStatUtimeTicks(line string) (int64, error) {
 	close := strings.LastIndex(line, ")")

@@ -127,3 +127,29 @@ func TestQuickStatRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the byte-slice parser agrees with the string parser for any
+// comm string, including parentheses and spaces.
+func TestQuickStatBytesAgree(t *testing.T) {
+	f := func(tid uint16, comm string, usage uint32, cpu uint8) bool {
+		if strings.ContainsAny(comm, "\n") {
+			comm = "x"
+		}
+		line := FormatStat(int(tid), comm+")", int64(usage), int(cpu))
+		s, errS := ParseStatLastCPU(line)
+		b, errB := ParseStatLastCPUBytes([]byte(line))
+		return (errS == nil) == (errB == nil) && s == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStatLastCPUBytesErrors(t *testing.T) {
+	if _, err := ParseStatLastCPUBytes([]byte("no comm here")); err == nil {
+		t.Fatal("malformed line parsed")
+	}
+	if _, err := ParseStatLastCPUBytes([]byte("1 (x) R 0 0")); err == nil {
+		t.Fatal("short line parsed")
+	}
+}

@@ -69,6 +69,32 @@ func ParseKHz(content string) (int64, error) {
 	return v, nil
 }
 
+// ParseKHzBytes is ParseKHz for a raw read buffer; it allocates nothing,
+// for the per-period per-vCPU frequency read of the monitor stage.
+func ParseKHzBytes(content []byte) (int64, error) {
+	b := content
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("sysfs: bad frequency %q", content)
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("sysfs: bad frequency %q", content)
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, fmt.Errorf("sysfs: bad frequency %q", content)
+		}
+	}
+	return v, nil
+}
+
 // ParseOnline parses an "online" range file ("0-63" or "0") into a count.
 func ParseOnline(content string) (int, error) {
 	s := strings.TrimSpace(content)

@@ -96,3 +96,24 @@ func TestParseErrors(t *testing.T) {
 		t.Fatal("ParseOnline accepted garbage")
 	}
 }
+
+func TestParseKHzBytes(t *testing.T) {
+	khz, err := ParseKHzBytes([]byte("2200000\n"))
+	if err != nil || khz != 2200000 {
+		t.Fatalf("ParseKHzBytes = %d, %v", khz, err)
+	}
+	for _, bad := range []string{"", "\n", "fast", "-3", "12 34"} {
+		if _, err := ParseKHzBytes([]byte(bad)); err == nil {
+			t.Fatalf("ParseKHzBytes accepted %q", bad)
+		}
+	}
+	content := []byte("2200000\n")
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ParseKHzBytes(content); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseKHzBytes allocates %.1f/op", allocs)
+	}
+}
