@@ -32,7 +32,7 @@ import (
 
 // defaultBench selects the perf-tracked benchmarks: the full-step and
 // cluster macro benchmarks plus the stage micro benchmarks.
-const defaultBench = "Fig2ControllerStep|ControllerOverhead|DynamicCluster|MonitorStage|ApplyStage|SteadyStep"
+const defaultBench = "Fig2ControllerStep|ControllerOverhead|DynamicCluster|MonitorStage|ApplyStage|AuctionSharded|SteadyStep"
 
 // defaultPkgs holds the packages that define those benchmarks.
 var defaultPkgs = []string{".", "./internal/core"}
@@ -66,10 +66,13 @@ func main() {
 		pkgs      = flag.String("pkgs", strings.Join(defaultPkgs, ","), "comma-separated packages to benchmark")
 		out       = flag.String("out", "", "output JSON path (e.g. BENCH_3.json); empty = print only")
 		baseline  = flag.String("baseline", "", "previous BENCH_<n>.json to compare against")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression for ns/op and allocs/op")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression for gated metrics")
 		gate      = flag.Bool("gate", false, "exit non-zero when a gated metric regresses beyond tolerance")
+		gateOn    = flag.String("gate-metrics", strings.Join(gatedMetrics, ","),
+			"comma-separated metrics the tolerance gate enforces (allocs/op alone is machine-independent)")
 	)
 	flag.Parse()
+	gatedMetrics = strings.Split(*gateOn, ",")
 
 	art, err := run(*bench, *benchtime, strings.Split(*pkgs, ","))
 	if err != nil {
@@ -193,8 +196,9 @@ func load(path string) (*Artefact, error) {
 	return &art, nil
 }
 
-// gatedMetrics are the performance metrics the tolerance gate enforces;
-// everything else is informational.
+// gatedMetrics are the performance metrics the tolerance gate enforces
+// by default (narrowed by -gate-metrics); everything else is
+// informational.
 var gatedMetrics = []string{"ns/op", "allocs/op"}
 
 type regression struct {

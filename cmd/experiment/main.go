@@ -33,6 +33,7 @@ import (
 // wall-clock moves.
 var (
 	monitorWorkers  int
+	auctionShards   int
 	parallelCluster bool
 )
 
@@ -43,6 +44,8 @@ func main() {
 	width := flag.Int("width", 72, "chart width")
 	flag.IntVar(&monitorWorkers, "monitor-workers", -1,
 		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 keeps the default)")
+	flag.IntVar(&auctionShards, "auction-shards", -1,
+		"auction shard count (0 = one per NUMA node, 1 = serial; -1 keeps the default)")
 	flag.BoolVar(&parallelCluster, "parallel", false,
 		"step the dynamic experiment's cluster nodes concurrently")
 	flag.Parse()
@@ -53,13 +56,19 @@ func main() {
 	}
 }
 
-// withWorkers applies the -monitor-workers override to an experiment.
+// withWorkers applies the -monitor-workers and -auction-shards overrides
+// to an experiment.
 func withWorkers(e experiments.FreqExperiment) experiments.FreqExperiment {
-	if monitorWorkers >= 0 {
+	if monitorWorkers >= 0 || auctionShards >= 0 {
 		if e.Config.PeriodUs == 0 {
 			e.Config = core.DefaultConfig()
 		}
+	}
+	if monitorWorkers >= 0 {
 		e.Config.MonitorWorkers = monitorWorkers
+	}
+	if auctionShards >= 0 {
+		e.Config.AuctionShards = auctionShards
 	}
 	return e
 }

@@ -66,6 +66,11 @@ type Scenario struct {
 	// MonitorWorkers sizes the monitor stage's read pool (0 =
 	// GOMAXPROCS, 1 = serial). The -monitor-workers flag overrides it.
 	MonitorWorkers int `json:"monitor_workers,omitempty"`
+	// AuctionShards shards the stage-4 auction by NUMA node: 0 (or
+	// omitted) keeps the serial default, -1 auto-sizes to the host's
+	// NUMA topology, N ≥ 1 forces N shards. The -auction-shards flag
+	// overrides it.
+	AuctionShards int `json:"auction_shards,omitempty"`
 
 	// Fault injection (sim mode): each listed host call site fails
 	// independently with probability FaultRate. Sites default to the
@@ -116,6 +121,8 @@ func main() {
 	linux := flag.Bool("linux", false, "drive the real host via cgroup v2 instead of the simulator")
 	monitorWorkers := flag.Int("monitor-workers", -1,
 		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario)")
+	auctionShards := flag.Int("auction-shards", 0,
+		"auction shard count (-1 = one per NUMA node, N = forced; 0 defers to the scenario)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -157,6 +164,9 @@ func main() {
 	}
 	if *monitorWorkers >= 0 {
 		sc.MonitorWorkers = *monitorWorkers
+	}
+	if *auctionShards != 0 {
+		sc.AuctionShards = *auctionShards
 	}
 	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
 	if *linux {
@@ -313,6 +323,15 @@ func controllerConfig(sc Scenario) core.Config {
 		cfg.HostRetries = 0
 	}
 	cfg.MonitorWorkers = sc.MonitorWorkers
+	// Scenario encoding differs from core.Config: in the scenario 0
+	// means "unset" (keep the serial default of 1) and -1 means auto,
+	// which is core's 0.
+	switch {
+	case sc.AuctionShards < 0:
+		cfg.AuctionShards = 0 // auto: one shard per NUMA node
+	case sc.AuctionShards > 0:
+		cfg.AuctionShards = sc.AuctionShards
+	}
 	cfg.ControlEnabled = sc.Control
 	return cfg
 }

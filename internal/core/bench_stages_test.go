@@ -163,6 +163,50 @@ func BenchmarkApplyStage(b *testing.B) {
 	_ = rep
 }
 
+// BenchmarkAuctionSharded measures stage 4 across shard counts on a
+// 40-core host with buyers spread over the cores (the benchHost places
+// vCPU threads round-robin, and without a topology the core index
+// stands in for the NUMA node). Wallets are sized below demand so the
+// ledger split, the windowed shard rounds and the redistribution round
+// all run. shards=1 is the serial Algorithm 1 baseline.
+func BenchmarkAuctionSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.AuctionShards = shards
+			cfg.MonitorWorkers = 0 // GOMAXPROCS pool: shards run concurrently
+			c, err := New(newBenchHost(40, 2), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if err := c.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			vms := c.VMs()
+			reset := func() int64 {
+				var market int64 = 40 * 1_000_000
+				for _, vs := range vms {
+					vs.CreditUs = 300_000
+					for _, v := range vs.VCPUs {
+						v.CapUs = 300_000
+						v.EstUs = 500_000
+						market -= v.CapUs
+					}
+				}
+				return market
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				market := reset()
+				c.auctionSharded(market)
+			}
+		})
+	}
+}
+
 // BenchmarkSteadyStep measures the full six-stage Step on the zero-alloc
 // host — the controller's own cost with the platform out of the picture.
 func BenchmarkSteadyStep(b *testing.B) {

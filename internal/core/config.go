@@ -100,6 +100,21 @@ type Config struct {
 	// the serial stage. 0 means GOMAXPROCS; 1 runs the stage serially
 	// (the exact pre-pool behaviour).
 	MonitorWorkers int
+	// AuctionShards partitions the stage-4 auction (Algorithm 1) by the
+	// NUMA node of each buyer's last observed core. Per-shard auctions
+	// run concurrently on a worker pool sized like MonitorWorkers, each
+	// against a per-shard ledger (a demand-proportional slice of the
+	// market and of every VM wallet), then a final sequential
+	// redistribution round sells the merged leftovers to still-hungry
+	// buyers across nodes. 1 (the default) runs the exact serial
+	// Algorithm 1; 0 means one shard per NUMA node discovered from the
+	// host topology (serial when the host has one node or none
+	// discoverable); N > 1 forces exactly N shards. Sharding preserves
+	// the conservation invariants (total sold ≤ market, wallet debits =
+	// cycles bought, caps within [Eq. 5 base, estimate]) but may order
+	// buyers differently than the serial pass, so per-vCPU caps can
+	// differ at N > 1 while the aggregates match.
+	AuctionShards int
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -121,6 +136,7 @@ func DefaultConfig() Config {
 		RecoverySteps:    1,
 		StepDeadlineFrac: 0.5,
 		MonitorWorkers:   0, // auto: GOMAXPROCS
+		AuctionShards:    1, // serial Algorithm 1 (0 = shard per NUMA node)
 	}
 }
 
@@ -176,6 +192,9 @@ func (c Config) Validate() error {
 	}
 	if c.MonitorWorkers < 0 || c.MonitorWorkers > 4096 {
 		return fmt.Errorf("core: monitor workers %d outside [0, 4096]", c.MonitorWorkers)
+	}
+	if c.AuctionShards < 0 || c.AuctionShards > 4096 {
+		return fmt.Errorf("core: auction shards %d outside [0, 4096]", c.AuctionShards)
 	}
 	return nil
 }

@@ -87,13 +87,23 @@ type Controller struct {
 	// Config.CheckpointEvery completed Steps.
 	store platform.Store
 
+	// coreNode maps each logical CPU to its NUMA node, discovered once
+	// from the host's optional platform.Topology capability; nil when
+	// the host exposes none. numaNodes is the discovered node count
+	// (at least 1), the auto shard count of AuctionShards = 0.
+	coreNode  []int
+	numaNodes int
+
 	// Reused per-Step scratch, so the steady-state control loop runs
 	// without heap allocations: the monitor read slots, the sync-stage
-	// seen set and the auction/distribution buyer list all keep their
-	// backing storage across Steps.
+	// seen set, the auction/distribution buyer list and the per-shard
+	// auction ledgers all keep their backing storage across Steps.
 	monSlots  []monitorSlot
 	seen      map[string]bool
 	buyersBuf []*VCPUState
+	shards    []*auctionShard
+	vmDemand  map[string]int64
+	vmWallet  map[string]int64
 }
 
 // New creates a controller.
@@ -105,12 +115,27 @@ func New(h platform.Host, cfg Config) (*Controller, error) {
 	if node.Cores <= 0 || node.MaxFreqMHz <= 0 {
 		return nil, fmt.Errorf("core: invalid node info %+v", node)
 	}
-	return &Controller{
-		cfg:  cfg,
-		host: h,
-		node: node,
-		vms:  map[string]*VMState{},
-	}, nil
+	c := &Controller{
+		cfg:       cfg,
+		host:      h,
+		node:      node,
+		vms:       map[string]*VMState{},
+		numaNodes: 1,
+	}
+	// NUMA topology is an optional capability; a host without one (or
+	// with an unreadable node tree) is treated as a single node, which
+	// keeps the auto shard count at 1 — the serial auction.
+	if topo, ok := h.(platform.Topology); ok {
+		if cn, err := topo.CoreNodes(); err == nil && len(cn) > 0 {
+			c.coreNode = cn
+			for _, n := range cn {
+				if n+1 > c.numaNodes {
+					c.numaNodes = n + 1
+				}
+			}
+		}
+	}
+	return c, nil
 }
 
 // Config returns the active configuration.
@@ -118,6 +143,10 @@ func (c *Controller) Config() Config { return c.cfg }
 
 // Node returns the node description the controller operates on.
 func (c *Controller) Node() platform.NodeInfo { return c.node }
+
+// NUMANodes returns the number of NUMA nodes discovered from the host
+// topology (1 when the host exposes none).
+func (c *Controller) NUMANodes() int { return c.numaNodes }
 
 // Steps returns the number of completed control iterations.
 func (c *Controller) Steps() int64 { return c.steps }
@@ -443,7 +472,7 @@ func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
 
 	ta := time.Now()
 	market := c.market()
-	market = c.auction(market)
+	market = c.auctionSharded(market)
 	rep.Timings.Auction = time.Since(ta)
 	checkStage("auction")
 

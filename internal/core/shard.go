@@ -1,0 +1,288 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the NUMA-sharded variant of stage 4 (Algorithm 1).
+//
+// The serial auction is the last sequential pass over every vCPU in the
+// control plane. Sharding splits it by NUMA node: buyers are partitioned
+// by the node of their last observed core (monitor stage placement), each
+// shard auctions a demand-proportional slice of the market against
+// per-shard credit ledgers, and a final sequential redistribution round
+// sells whatever the shards left over to still-hungry buyers on any node.
+//
+// Conservation is preserved by construction:
+//
+//   - the market splits exactly: Σ shard shares + central remainder =
+//     market, and every unsold shard share flows into the redistribution
+//     round, so Σ sold + leftover = market;
+//   - each VM wallet splits exactly: Σ ledger shares ≤ wallet, shares are
+//     debited 1:1 per cycle bought, and unspent shares merge back before
+//     the redistribution round, so wallet debits = cycles bought and no
+//     wallet goes negative;
+//   - shards only ever raise CapUs toward EstUs, so no cap drops below
+//     the Eq. 5 base or exceeds the estimate.
+//
+// Race freedom: the buyer partition is disjoint (a vCPU sits in exactly
+// one shard), each shard owns its ledger maps, and c.vms is only read —
+// wallet mutation happens on the stepping goroutine before the shards
+// start (the split) and after they join (the merge).
+
+// auctionShard is one NUMA node's slice of a sharded auction run. Shards
+// are controller scratch, reused across Steps.
+type auctionShard struct {
+	buyers []*VCPUState
+	// credit is the shard's ledger: the slice of each VM's wallet this
+	// shard may spend, debited as its buyers purchase cycles.
+	credit map[string]int64
+	// demand accumulates each VM's residual demand (Σ e − c over its
+	// buyers in this shard), the wallet-split weight.
+	demand      map[string]int64
+	demandTotal int64
+	// market is the shard's market share on entry and its unsold
+	// leftover after the shard auction ran.
+	market int64
+}
+
+// effectiveShards resolves Config.AuctionShards: 0 means one shard per
+// discovered NUMA node.
+func (c *Controller) effectiveShards() int {
+	if n := c.cfg.AuctionShards; n != 0 {
+		return n
+	}
+	return c.numaNodes
+}
+
+// shardOf maps a buyer to its shard: the NUMA node of the core it last
+// ran on, folded into the shard count. Before the first placement read
+// (LastCore < 0) the buyer lands on shard 0. Without a host topology the
+// core index itself stands in for the node id, so a forced shard count
+// still spreads buyers by placement.
+func (c *Controller) shardOf(v *VCPUState, shards int) int {
+	node := v.LastCore
+	if node < 0 {
+		return 0
+	}
+	if c.coreNode != nil {
+		if node < len(c.coreNode) {
+			node = c.coreNode[node]
+		} else {
+			node = 0
+		}
+	}
+	return node % shards
+}
+
+// shardScratch returns n reset shards, growing the reused pool on demand.
+func (c *Controller) shardScratch(n int) []*auctionShard {
+	for len(c.shards) < n {
+		c.shards = append(c.shards, &auctionShard{
+			credit: map[string]int64{},
+			demand: map[string]int64{},
+		})
+	}
+	sh := c.shards[:n]
+	for _, s := range sh {
+		s.buyers = s.buyers[:0]
+		clear(s.credit)
+		clear(s.demand)
+		s.demandTotal = 0
+		s.market = 0
+	}
+	return sh
+}
+
+// auctionSharded implements stage 4 with NUMA sharding. At an effective
+// shard count of 1 it is the serial auction, bit for bit. It returns the
+// cycles left unsold, exactly like auction.
+func (c *Controller) auctionSharded(market int64) int64 {
+	shards := c.effectiveShards()
+	if shards <= 1 {
+		return c.auction(market)
+	}
+	if market <= 0 {
+		return 0
+	}
+	buyers := c.buyers()
+	if len(buyers) == 0 {
+		return market
+	}
+
+	sh := c.shardScratch(shards)
+	if c.vmDemand == nil {
+		c.vmDemand = make(map[string]int64, len(c.vms))
+		c.vmWallet = make(map[string]int64, len(c.vms))
+	} else {
+		clear(c.vmDemand)
+		clear(c.vmWallet)
+	}
+
+	// Partition buyers by NUMA node and accumulate the split weights.
+	var totalDemand int64
+	for _, v := range buyers {
+		s := sh[c.shardOf(v, shards)]
+		s.buyers = append(s.buyers, v)
+		d := v.EstUs - v.CapUs
+		s.demand[v.VM] += d
+		s.demandTotal += d
+		c.vmDemand[v.VM] += d
+		totalDemand += d
+	}
+	for vm := range c.vmDemand {
+		c.vmWallet[vm] = c.vms[vm].CreditUs
+	}
+
+	// Split the market and the wallets proportionally to residual
+	// demand. Integer-floor remainders are not lost: the market
+	// remainder goes straight to the redistribution round and the
+	// wallet remainder stays spendable in the central wallet.
+	leftover := market
+	for _, s := range sh {
+		if s.demandTotal == 0 {
+			continue
+		}
+		s.market = market * s.demandTotal / totalDemand
+		leftover -= s.market
+		for vm, d := range s.demand {
+			st := c.vms[vm]
+			share := c.vmWallet[vm] * d / c.vmDemand[vm]
+			if share > st.CreditUs {
+				share = st.CreditUs
+			}
+			s.credit[vm] = share
+			st.CreditUs -= share
+		}
+	}
+
+	c.runShardsParallel(sh)
+
+	// Barrier merge: unsold shard markets join the central leftover and
+	// unspent ledger credit returns to the wallets.
+	for _, s := range sh {
+		leftover += s.market
+		for vm, cr := range s.credit {
+			if cr > 0 {
+				c.vms[vm].CreditUs += cr
+			}
+		}
+	}
+
+	// Cross-node redistribution round: one sequential Algorithm 1 pass
+	// sells the merged leftover to still-hungry buyers on any node,
+	// paced by the same window and charged to the merged wallets.
+	return c.auction(leftover)
+}
+
+// runShardsParallel fans the per-shard auctions over a worker pool sized
+// like the monitor stage's (Config.MonitorWorkers, 0 = GOMAXPROCS),
+// pulling shard indices from a shared atomic counter. Worker panics are
+// re-raised on the stepping goroutine so the Step watchdog sees them,
+// mirroring readParallel.
+func (c *Controller) runShardsParallel(sh []*auctionShard) {
+	workers := c.cfg.MonitorWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sh) {
+		workers = len(sh)
+	}
+	if workers <= 1 {
+		for _, s := range sh {
+			c.runShardAuction(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sh) {
+					return
+				}
+				c.runShardAuction(sh[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// runShardAuction runs Algorithm 1 over one shard: the same windowed
+// rounds as the serial auction, with the shard ledger standing in for
+// the VM wallets. It touches only the shard's own buyers and ledger, so
+// shards run concurrently without locks.
+func (c *Controller) runShardAuction(s *auctionShard) {
+	market := s.market
+	buyers := s.buyers
+	for market > 0 && len(buyers) > 0 {
+		sortByLedgerCredit(buyers, s.credit)
+		progress := false
+		next := buyers[:0]
+		for _, v := range buyers {
+			if market <= 0 {
+				next = append(next, v)
+				continue
+			}
+			amount := c.cfg.WindowUs
+			if want := v.EstUs - v.CapUs; amount > want {
+				amount = want
+			}
+			if amount > market {
+				amount = market
+			}
+			if cr := s.credit[v.VM]; amount > cr {
+				amount = cr
+			}
+			if amount > 0 {
+				v.CapUs += amount
+				s.credit[v.VM] -= amount
+				market -= amount
+				progress = true
+			}
+			if v.CapUs < v.EstUs && s.credit[v.VM] > 0 {
+				next = append(next, v)
+			}
+		}
+		buyers = next
+		if !progress {
+			break // nobody in this shard can afford anything
+		}
+	}
+	s.market = market
+}
+
+// sortByLedgerCredit is sortByCredit against a shard ledger: buyers of
+// VMs with more unspent shard credit come first, stably.
+func sortByLedgerCredit(buyers []*VCPUState, credit map[string]int64) {
+	for i := 1; i < len(buyers); i++ {
+		b := buyers[i]
+		cr := credit[b.VM]
+		j := i
+		for j > 0 && credit[buyers[j-1].VM] < cr {
+			buyers[j] = buyers[j-1]
+			j--
+		}
+		buyers[j] = b
+	}
+}

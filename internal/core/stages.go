@@ -172,22 +172,29 @@ func (c *Controller) distribute(market int64) {
 		v.CapUs += give
 		remaining -= give
 	}
-	// Integer floor remainders: one extra microsecond each until spent.
+	// Integer-division residue: the floored proportional pass can leave
+	// up to len(hungry)−1 cycles neither given nor returned. Award the
+	// remainder to the largest-residual-demand buyer (earliest in
+	// registration order on ties), spilling to the next-largest if its
+	// headroom runs out, so the market is drained exactly whenever
+	// demand remains.
 	for remaining > 0 {
-		progress := false
+		var best *VCPUState
+		var bestHead int64
 		for _, v := range hungry {
-			if remaining == 0 {
-				break
-			}
-			if v.CapUs < v.EstUs {
-				v.CapUs++
-				remaining--
-				progress = true
+			if head := v.EstUs - v.CapUs; head > bestHead {
+				bestHead, best = head, v
 			}
 		}
-		if !progress {
-			break
+		if best == nil {
+			break // every buyer is at its estimate
 		}
+		give := remaining
+		if give > bestHead {
+			give = bestHead
+		}
+		best.CapUs += give
+		remaining -= give
 	}
 }
 

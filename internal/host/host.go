@@ -35,6 +35,10 @@ type Spec struct {
 	MemoryGB  int
 	Governor  string
 	Power     energy.PowerModel
+	// NUMANodes is the number of NUMA nodes the cores split into
+	// (contiguous equal blocks, the dual-socket layout of the paper's
+	// Grid'5000 nodes). 0 means 1: a single node.
+	NUMANodes int
 
 	// CachePenalty models last-level-cache contention, the effect the
 	// paper's §V names as future work: at full machine utilisation,
@@ -61,6 +65,9 @@ func (s Spec) Validate() error {
 	if s.CachePenalty < 0 || s.CachePenalty >= 1 {
 		return fmt.Errorf("host: %q has cache penalty %g outside [0, 1)", s.Name, s.CachePenalty)
 	}
+	if s.NUMANodes < 0 {
+		return fmt.Errorf("host: %q has negative NUMA node count %d", s.Name, s.NUMANodes)
+	}
 	return s.Power.Validate()
 }
 
@@ -78,6 +85,7 @@ func Chetemi() Spec {
 		MemoryGB:  256,
 		Governor:  dvfs.GovernorSchedutil,
 		Power:     energy.PowerModel{IdleWatts: 97, MaxWatts: 220, Alpha: 1, Gamma: 2, MaxMHz: 2400},
+		NUMANodes: 2, // one per socket
 	}
 }
 
@@ -95,6 +103,7 @@ func Chiclet() Spec {
 		MemoryGB:  128,
 		Governor:  dvfs.GovernorSchedutil,
 		Power:     energy.PowerModel{IdleWatts: 110, MaxWatts: 190, Alpha: 1, Gamma: 2, MaxMHz: 2400},
+		NUMANodes: 2, // one per socket
 	}
 }
 
@@ -147,6 +156,13 @@ func New(spec Spec) (*Machine, error) {
 		return nil, err
 	}
 	if err := sysfs.MountModel(fs, model, sysfs.Mount); err != nil {
+		return nil, err
+	}
+	numa := spec.NUMANodes
+	if numa <= 0 {
+		numa = 1
+	}
+	if err := sysfs.MountNodes(fs, sysfs.NodeMount, spec.Cores, numa); err != nil {
 		return nil, err
 	}
 	meter, err := energy.NewMeter(spec.Power)

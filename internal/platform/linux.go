@@ -31,13 +31,14 @@ import (
 // is picked up. All methods are safe for concurrent use by the monitor
 // worker pool.
 type Linux struct {
-	NodeName   string
-	CgroupRoot string // e.g. /sys/fs/cgroup/machine.slice
-	ProcRoot   string // e.g. /proc
-	SysCPURoot string // e.g. /sys/devices/system/cpu
-	MaxFreqMHz int64
-	Cores      int
-	Freqs      map[string]int64 // VM name → template frequency (MHz)
+	NodeName    string
+	CgroupRoot  string // e.g. /sys/fs/cgroup/machine.slice
+	ProcRoot    string // e.g. /proc
+	SysCPURoot  string // e.g. /sys/devices/system/cpu
+	SysNUMARoot string // e.g. /sys/devices/system/node
+	MaxFreqMHz  int64
+	Cores       int
+	Freqs       map[string]int64 // VM name → template frequency (MHz)
 
 	// mu guards the lazily-built handle caches. Hot paths hold it only
 	// for a map lookup; opening, pruning and invalidation are rare.
@@ -45,6 +46,11 @@ type Linux struct {
 	vcpus map[vcpuRef]*vcpuFiles
 	procs map[int]*handle
 	cores map[int]*handle
+
+	// coreNodes caches the NUMA topology (core → node), discovered once
+	// like the cgroup paths: the placement of logical CPUs never changes
+	// while the controller runs.
+	coreNodes []int
 }
 
 type vcpuRef struct {
@@ -209,15 +215,60 @@ func (l *Linux) pruneDeparted(live []VMInfo) {
 	}
 }
 
+// CoreNodes implements Topology: core → NUMA node from the node<N>/
+// cpulist files. The scan runs once and is cached; a missing or
+// unreadable node tree degrades to a single-node topology rather than
+// failing, since sharding is an optimisation, not a correctness need.
+func (l *Linux) CoreNodes() ([]int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.coreNodes != nil {
+		return l.coreNodes, nil
+	}
+	nodes := make([]int, l.Cores) // default: every core on node 0
+	root := l.SysNUMARoot
+	if root == "" {
+		root = sysfs.NodeMount
+	}
+	if entries, err := os.ReadDir(root); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasPrefix(name, "node") {
+				continue
+			}
+			id, err := strconv.Atoi(strings.TrimPrefix(name, "node"))
+			if err != nil || id < 0 {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(root, name, "cpulist"))
+			if err != nil {
+				continue
+			}
+			cpus, err := sysfs.ParseCPUList(string(b))
+			if err != nil {
+				continue
+			}
+			for _, c := range cpus {
+				if c >= 0 && c < len(nodes) {
+					nodes[c] = id
+				}
+			}
+		}
+	}
+	l.coreNodes = nodes
+	return nodes, nil
+}
+
 // NewLinux builds a backend for the standard mount points. It fails if
 // the cgroup v2 hierarchy is not present.
 func NewLinux(freqs map[string]int64) (*Linux, error) {
 	l := &Linux{
-		NodeName:   "localhost",
-		CgroupRoot: "/sys/fs/cgroup/machine.slice",
-		ProcRoot:   "/proc",
-		SysCPURoot: "/sys/devices/system/cpu",
-		Freqs:      freqs,
+		NodeName:    "localhost",
+		CgroupRoot:  "/sys/fs/cgroup/machine.slice",
+		ProcRoot:    "/proc",
+		SysCPURoot:  "/sys/devices/system/cpu",
+		SysNUMARoot: sysfs.NodeMount,
+		Freqs:       freqs,
 	}
 	online, err := os.ReadFile(filepath.Join(l.SysCPURoot, "online"))
 	if err != nil {

@@ -53,6 +53,18 @@ type Host interface {
 // ("max" in cpu.max).
 const NoQuota = int64(-1)
 
+// Topology is an optional Host capability: the NUMA placement of the
+// machine's logical CPUs, read from /sys/devices/system/node. The
+// controller uses it to partition the stage-4 auction into per-node
+// shards. Hosts without the capability (or with a missing node tree)
+// are treated as a single NUMA node.
+type Topology interface {
+	// CoreNodes returns a slice mapping each logical CPU index to its
+	// NUMA node id. The result must be stable across calls; callers
+	// may cache and share it without copying.
+	CoreNodes() ([]int, error)
+}
+
 // QuotaReader is an optional Host capability: reading back the cgroup
 // cpu.max quota currently in force for a vCPU. The controller uses it on
 // restart to adopt quotas it did not write this incarnation (cold-start

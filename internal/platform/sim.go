@@ -109,6 +109,39 @@ func (s *Sim) LastCPU(tid int) (int, error) {
 	return procfs.ParseStatLastCPU(line)
 }
 
+// CoreNodes implements Topology: it reads the emulated
+// /sys/devices/system/node tree, exactly as the Linux backend reads
+// the real one. Cores not named by any node<N>/cpulist (or a missing
+// tree entirely) default to node 0.
+func (s *Sim) CoreNodes() ([]int, error) {
+	m := s.mgr.Machine()
+	nodes := make([]int, m.Spec().Cores)
+	names, err := m.FS.ReadDir(sysfs.NodeMount)
+	if err != nil {
+		return nodes, nil // no NUMA tree: single-node topology
+	}
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(name, "node%d", &id); err != nil || id < 0 {
+			continue
+		}
+		content, err := m.FS.ReadFile(sysfs.NodeCPUListPath(sysfs.NodeMount, id))
+		if err != nil {
+			continue
+		}
+		cpus, err := sysfs.ParseCPUList(content)
+		if err != nil {
+			continue
+		}
+		for _, c := range cpus {
+			if c >= 0 && c < len(nodes) {
+				nodes[c] = id
+			}
+		}
+	}
+	return nodes, nil
+}
+
 // CoreFreqMHz implements Host.
 func (s *Sim) CoreFreqMHz(core int) (int64, error) {
 	content, err := s.mgr.Machine().FS.ReadFile(sysfs.CurFreqPath(sysfs.Mount, core))

@@ -1,6 +1,8 @@
 // Package sysfs emulates the cpufreq subset of /sys the controller reads:
 // /sys/devices/system/cpu/cpu<N>/cpufreq/scaling_cur_freq (kHz) plus the
-// static scaling_min_freq, scaling_max_freq and scaling_governor files.
+// static scaling_min_freq, scaling_max_freq and scaling_governor files,
+// and the NUMA topology subset under /sys/devices/system/node
+// (node<N>/cpulist) the sharded auction partitions buyers with.
 package sysfs
 
 import (
@@ -93,6 +95,86 @@ func ParseKHzBytes(content []byte) (int64, error) {
 		}
 	}
 	return v, nil
+}
+
+// NodeMount is the conventional location of the NUMA node tree.
+const NodeMount = "/sys/devices/system/node"
+
+// NodeCPUListPath returns the cpulist path of NUMA node n under mount.
+func NodeCPUListPath(mount string, n int) string {
+	return fmt.Sprintf("%s/node%d/cpulist", mount, n)
+}
+
+// MountNodes exposes a NUMA topology of nodes equal-sized contiguous
+// blocks of cores under mount inside fs, the way the kernel lays out
+// /sys/devices/system/node: node<N>/cpulist plus an "online" range file.
+// A remainder of cores not divisible by nodes lands on the last node.
+func MountNodes(fs *memfs.FS, mount string, cores, nodes int) error {
+	if nodes <= 0 || cores <= 0 {
+		return fmt.Errorf("sysfs: invalid NUMA layout %d cores / %d nodes", cores, nodes)
+	}
+	if nodes > cores {
+		nodes = cores
+	}
+	if err := fs.MkdirAll(mount); err != nil {
+		return err
+	}
+	online := "0\n"
+	if nodes > 1 {
+		online = fmt.Sprintf("0-%d\n", nodes-1)
+	}
+	if err := fs.AddFile(mount+"/online", online); err != nil {
+		return err
+	}
+	per := cores / nodes
+	for n := 0; n < nodes; n++ {
+		dir := fmt.Sprintf("%s/node%d", mount, n)
+		if err := fs.MkdirAll(dir); err != nil {
+			return err
+		}
+		lo := n * per
+		hi := lo + per - 1
+		if n == nodes-1 {
+			hi = cores - 1
+		}
+		list := fmt.Sprintf("%d\n", lo)
+		if hi > lo {
+			list = fmt.Sprintf("%d-%d\n", lo, hi)
+		}
+		if err := fs.AddFile(dir+"/cpulist", list); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseCPUList parses a kernel cpulist file ("0-9,20-29" or "3") into
+// the listed CPU indices, in file order.
+func ParseCPUList(content string) ([]int, error) {
+	s := strings.TrimSpace(content)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("sysfs: bad cpulist %q", content)
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil || b < a {
+			return nil, fmt.Errorf("sysfs: bad cpulist %q", content)
+		}
+		for c := a; c <= b; c++ {
+			out = append(out, c)
+		}
+	}
+	return out, nil
 }
 
 // ParseOnline parses an "online" range file ("0-63" or "0") into a count.
