@@ -34,6 +34,7 @@ import (
 var (
 	monitorWorkers  int
 	auctionShards   int
+	estimateShards  int
 	parallelCluster bool
 )
 
@@ -46,6 +47,8 @@ func main() {
 		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 keeps the default)")
 	flag.IntVar(&auctionShards, "auction-shards", -1,
 		"auction shard count (0 = one per NUMA node, 1 = serial; -1 keeps the default)")
+	flag.IntVar(&estimateShards, "estimate-shards", -1,
+		"estimate/enforce shard count (0 = follow auction shards, 1 = serial; -1 keeps the default)")
 	flag.BoolVar(&parallelCluster, "parallel", false,
 		"step the dynamic experiment's cluster nodes concurrently")
 	flag.Parse()
@@ -56,10 +59,10 @@ func main() {
 	}
 }
 
-// withWorkers applies the -monitor-workers and -auction-shards overrides
-// to an experiment.
+// withWorkers applies the -monitor-workers, -auction-shards and
+// -estimate-shards overrides to an experiment.
 func withWorkers(e experiments.FreqExperiment) experiments.FreqExperiment {
-	if monitorWorkers >= 0 || auctionShards >= 0 {
+	if monitorWorkers >= 0 || auctionShards >= 0 || estimateShards >= 0 {
 		if e.Config.PeriodUs == 0 {
 			e.Config = core.DefaultConfig()
 		}
@@ -69,6 +72,9 @@ func withWorkers(e experiments.FreqExperiment) experiments.FreqExperiment {
 	}
 	if auctionShards >= 0 {
 		e.Config.AuctionShards = auctionShards
+	}
+	if estimateShards >= 0 {
+		e.Config.EstimateShards = estimateShards
 	}
 	return e
 }

@@ -71,6 +71,13 @@ type Scenario struct {
 	// NUMA topology, N ≥ 1 forces N shards. The -auction-shards flag
 	// overrides it.
 	AuctionShards int `json:"auction_shards,omitempty"`
+	// EstimateShards shards stages 2–3 (estimate/enforce) over the same
+	// placement partition as the auction: 0 (or omitted) follows the
+	// effective auction shard count, -1 forces the serial passes, N ≥ 1
+	// forces N shards. Unlike auction sharding the result is
+	// bit-identical at any count. The -estimate-shards flag overrides
+	// it.
+	EstimateShards int `json:"estimate_shards,omitempty"`
 
 	// Fault injection (sim mode): each listed host call site fails
 	// independently with probability FaultRate. Sites default to the
@@ -123,6 +130,8 @@ func main() {
 		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario)")
 	auctionShards := flag.Int("auction-shards", 0,
 		"auction shard count (-1 = one per NUMA node, N = forced; 0 defers to the scenario)")
+	estimateShards := flag.Int("estimate-shards", 0,
+		"estimate/enforce shard count (-1 = serial, N = forced; 0 defers to the scenario, which defaults to following -auction-shards)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -167,6 +176,9 @@ func main() {
 	}
 	if *auctionShards != 0 {
 		sc.AuctionShards = *auctionShards
+	}
+	if *estimateShards != 0 {
+		sc.EstimateShards = *estimateShards
 	}
 	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
 	if *linux {
@@ -331,6 +343,15 @@ func controllerConfig(sc Scenario) core.Config {
 		cfg.AuctionShards = 0 // auto: one shard per NUMA node
 	case sc.AuctionShards > 0:
 		cfg.AuctionShards = sc.AuctionShards
+	}
+	// Same remapping for the stage 2–3 partition, except "auto" here
+	// means following the effective auction shard count (core's 0) and
+	// -1 forces the serial passes (core's 1).
+	switch {
+	case sc.EstimateShards < 0:
+		cfg.EstimateShards = 1
+	case sc.EstimateShards > 0:
+		cfg.EstimateShards = sc.EstimateShards
 	}
 	cfg.ControlEnabled = sc.Control
 	return cfg
@@ -541,9 +562,10 @@ func runLinux(sc Scenario, ck checkpointOpts) error {
 			fmt.Printf("t=%-4d %-20s %6.0f MHz (guarantee %d MHz, credits %d)\n",
 				step+1, st.Info.Name, mhz, st.Info.FreqMHz, st.CreditUs)
 		}
-		// Sleep p − spent, as §III-B6 prescribes.
-		if spent := time.Since(start); spent < period {
-			time.Sleep(period - spent)
+		// Sleep p − spent, as §III-B6 prescribes; PeriodSleep clamps an
+		// overrunning step to zero instead of producing a negative sleep.
+		if d := ctrl.PeriodSleep(time.Since(start)); d > 0 {
+			time.Sleep(d)
 		}
 	}
 	if ck.path != "" {

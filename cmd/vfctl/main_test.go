@@ -94,6 +94,17 @@ func TestControllerConfigOverrides(t *testing.T) {
 	if def.IncreaseTrigger != 0.95 || def.DecreaseFactor != 0.05 {
 		t.Fatalf("defaults lost: %+v", def)
 	}
+	// EstimateShards encoding: 0 defers to the core default (follow the
+	// auction partition), -1 forces serial, N forces N shards.
+	if def.EstimateShards != 0 {
+		t.Fatalf("EstimateShards default = %d, want 0 (follow auction)", def.EstimateShards)
+	}
+	if got := controllerConfig(Scenario{EstimateShards: -1}).EstimateShards; got != 1 {
+		t.Fatalf("EstimateShards(-1) = %d, want 1 (serial)", got)
+	}
+	if got := controllerConfig(Scenario{EstimateShards: 5}).EstimateShards; got != 5 {
+		t.Fatalf("EstimateShards(5) = %d, want 5", got)
+	}
 }
 
 func TestRunSimProducesCSV(t *testing.T) {

@@ -223,3 +223,178 @@ func BenchmarkSteadyStep(b *testing.B) {
 		})
 	}
 }
+
+// batchBenchHost layers the BatchQuotaWriter capability over benchHost,
+// forwarding entries through the zero-alloc SetMax. Kept separate so the
+// serial-path tests and benchmarks above keep measuring the non-batched
+// apply.
+type batchBenchHost struct {
+	*benchHost
+	batches int
+}
+
+func (h *batchBenchHost) BatchSetMax(vm string, quotas []platform.VCPUQuota) error {
+	h.batches++
+	for i := range quotas {
+		q := &quotas[i]
+		q.Err = h.SetMax(vm, q.VCPU, q.QuotaUs, q.PeriodUs)
+	}
+	return nil
+}
+
+// TestStepSkipsCleanWrites pins the incremental apply at the Step level:
+// the benchHost consumption is constant, so once the estimates settle a
+// full Step must issue zero SetMax calls.
+func TestStepSkipsCleanWrites(t *testing.T) {
+	c := benchController(t, 20, 2, 1)
+	h := c.host.(*benchHost)
+	sets := h.sets
+	for i := 0; i < 5; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.sets != sets {
+		t.Fatalf("steady-state Steps issued %d writes, want 0", h.sets-sets)
+	}
+}
+
+// TestStepShardedZeroAlloc is TestStepZeroAlloc with the whole
+// three-stage partition forced (estimate, enforce and auction all
+// sharded): the partition, the per-shard ledgers and the barrier merges
+// must reuse their scratch across Steps. MonitorWorkers = 1 keeps the
+// pools on their serial fallback, so goroutine spawns don't drown the
+// measurement.
+func TestStepShardedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	cfg := DefaultConfig()
+	cfg.MonitorWorkers = 1
+	cfg.EstimateShards = 4
+	cfg.AuctionShards = 4
+	c, err := New(newBenchHost(20, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded steady-state Step allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestApplyStageBatchedZeroAlloc asserts the batched apply path — dirty
+// collection into the reused entry buffer, the batch call, the outcome
+// resolution — allocates nothing even when every quota is dirty.
+func TestApplyStageBatchedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	h := &batchBenchHost{benchHost: newBenchHost(20, 2)}
+	cfg := DefaultConfig()
+	cfg.MonitorWorkers = 1
+	c, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vms := c.VMs()
+	var rep StepReport
+	flip := int64(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		// Alternate every cap between two quota-distinct values so the
+		// whole fleet is dirty on every run.
+		flip = 1 - flip
+		for _, vs := range vms {
+			for _, v := range vs.VCPUs {
+				v.CapUs = 400_000 + flip*10_000
+			}
+		}
+		rep = StepReport{}
+		c.apply(&rep)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched apply allocates %.1f/op, want 0", allocs)
+	}
+	if h.batches == 0 {
+		t.Fatal("batch path never ran")
+	}
+}
+
+// BenchmarkEstimateEnforceSharded measures stages 2–3 (plus the barrier
+// merges and the market sum) across shard counts on the 40-core host.
+// shards=1 is the serial baseline; the benchHost reads are pure memory,
+// so the sharded runs show partition+merge overhead here and pay off as
+// the per-vCPU work grows.
+func BenchmarkEstimateEnforceSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.EstimateShards = shards
+			cfg.MonitorWorkers = 0 // GOMAXPROCS pool: shards run concurrently
+			c, err := New(newBenchHost(40, 2), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if err := c.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.partitionShards = 0
+				c.estimateStage()
+				c.enforceStage()
+				_ = c.marketStage()
+			}
+		})
+	}
+}
+
+// BenchmarkApplyStageBatched measures stage 6 over the batch capability
+// with every quota dirty — the worst case; the steady-state best case
+// (all clean, zero writes) is what BenchmarkApplyStage now measures.
+func BenchmarkApplyStageBatched(b *testing.B) {
+	h := &batchBenchHost{benchHost: newBenchHost(40, 2)}
+	cfg := DefaultConfig()
+	cfg.MonitorWorkers = 1
+	c, err := New(h, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vms := c.VMs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep StepReport
+	for i := 0; i < b.N; i++ {
+		fl := int64(i & 1)
+		for _, vs := range vms {
+			for _, v := range vs.VCPUs {
+				v.CapUs = 400_000 + fl*10_000
+			}
+		}
+		rep = StepReport{}
+		c.apply(&rep)
+	}
+	_ = rep
+}

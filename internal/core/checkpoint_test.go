@@ -574,3 +574,26 @@ func TestStepDeadlineOverrun(t *testing.T) {
 		t.Fatalf("overrun reported with deadline disabled: %s", rep.String())
 	}
 }
+
+// TestPeriodSleepClampsOverrun is the regression for the end-of-step
+// sleep audit: a periodic caller sleeps PeriodSleep(spent) after each
+// Step, and an overrunning step (spent ≥ p) must clamp the sleep to
+// zero — a negative p − spent would return from time.Sleep immediately
+// but double-count the overrun against the next period's usage delta in
+// callers that derive the delta from the intended schedule.
+func TestPeriodSleepClampsOverrun(t *testing.T) {
+	c := mustController(t, newFakeHost(), DefaultConfig())
+	period := time.Duration(c.Config().PeriodUs) * time.Microsecond
+	if d := c.PeriodSleep(period / 4); d != period-period/4 {
+		t.Fatalf("PeriodSleep(p/4) = %v, want %v", d, period-period/4)
+	}
+	if d := c.PeriodSleep(period); d != 0 {
+		t.Fatalf("PeriodSleep(p) = %v, want 0", d)
+	}
+	if d := c.PeriodSleep(3 * period); d != 0 {
+		t.Fatalf("PeriodSleep(3p) = %v, want 0", d)
+	}
+	if d := c.PeriodSleep(0); d != period {
+		t.Fatalf("PeriodSleep(0) = %v, want %v", d, period)
+	}
+}

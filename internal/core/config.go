@@ -115,6 +115,18 @@ type Config struct {
 	// buyers differently than the serial pass, so per-vCPU caps can
 	// differ at N > 1 while the aggregates match.
 	AuctionShards int
+	// EstimateShards partitions stages 2–3 (estimation and base
+	// enforcement) over the same NUMA placement partition the stage-4
+	// auction uses: the per-vCPU passes run concurrently on the shard
+	// worker pool, with per-shard credit and market accumulators merged
+	// at a single barrier before the auction. Unlike auction sharding,
+	// the sharded stages are bit-identical to the serial pass at ANY
+	// shard count — estimation is per-vCPU pure and credit accrual is a
+	// commutative per-VM sum clamped once after the merge. 0 (the
+	// default) follows the effective AuctionShards value, so one knob
+	// sizes the whole three-stage partition; 1 forces the serial pass;
+	// N > 1 forces N shards.
+	EstimateShards int
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -137,6 +149,7 @@ func DefaultConfig() Config {
 		StepDeadlineFrac: 0.5,
 		MonitorWorkers:   0, // auto: GOMAXPROCS
 		AuctionShards:    1, // serial Algorithm 1 (0 = shard per NUMA node)
+		EstimateShards:   0, // follow AuctionShards: one partition, three stages
 	}
 }
 
@@ -195,6 +208,9 @@ func (c Config) Validate() error {
 	}
 	if c.AuctionShards < 0 || c.AuctionShards > 4096 {
 		return fmt.Errorf("core: auction shards %d outside [0, 4096]", c.AuctionShards)
+	}
+	if c.EstimateShards < 0 || c.EstimateShards > 4096 {
+		return fmt.Errorf("core: estimate shards %d outside [0, 4096]", c.EstimateShards)
 	}
 	return nil
 }

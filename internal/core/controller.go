@@ -57,6 +57,32 @@ type VCPUState struct {
 	// delta exists until the next step. Warm vCPUs keep their initial
 	// guarantee-level allocation and accrue no credits.
 	warm bool
+
+	// appliedQuotaUs/appliedPeriodUs cache the last (quota, period) the
+	// apply stage successfully wrote for this vCPU, valid while
+	// appliedQuotaOK holds; appliedBurstUs/appliedBurstOK do the same
+	// for the burst budget. Apply skips vCPUs whose fresh quota matches
+	// the cache, so a steady-state step issues no writes at all. The
+	// fields are unexported on purpose: they never enter a checkpoint
+	// (a restored vCPU starts with an invalid cache and writes through),
+	// and invalidateApplied drops them whenever the cgroup may no longer
+	// hold what was last written.
+	appliedQuotaUs  int64
+	appliedPeriodUs int64
+	appliedQuotaOK  bool
+	appliedBurstUs  int64
+	appliedBurstOK  bool
+}
+
+// invalidateApplied forgets the last-applied quota and burst, forcing
+// the next apply stage to write through. Called on every event after
+// which the cgroup's content is no longer trusted: a degradation (the
+// cgroup may have vanished and been recreated unlimited), a usage
+// counter reset (VM restart rebuilds the cgroup), a recovered step
+// panic, and a VM reconfiguration.
+func (v *VCPUState) invalidateApplied() {
+	v.appliedQuotaOK = false
+	v.appliedBurstOK = false
 }
 
 // VMState is the controller's per-VM bookkeeping.
@@ -94,16 +120,28 @@ type Controller struct {
 	coreNode  []int
 	numaNodes int
 
+	// batch is the host's optional BatchQuotaWriter capability, detected
+	// once at New; nil when the host writes quotas one vCPU at a time.
+	batch platform.BatchQuotaWriter
+
+	// partitionShards is the shard count of the stage 2–3 placement
+	// partition currently held in c.shards (0 = no valid partition).
+	// Set by partitionStages, cleared at the top of every runStages and
+	// whenever the auction re-partitions at a different count.
+	partitionShards int
+
 	// Reused per-Step scratch, so the steady-state control loop runs
 	// without heap allocations: the monitor read slots, the sync-stage
-	// seen set, the auction/distribution buyer list and the per-shard
-	// auction ledgers all keep their backing storage across Steps.
+	// seen set, the auction/distribution buyer list, the per-shard
+	// stage ledgers and the batched-apply entry buffer all keep their
+	// backing storage across Steps.
 	monSlots  []monitorSlot
 	seen      map[string]bool
 	buyersBuf []*VCPUState
 	shards    []*auctionShard
 	vmDemand  map[string]int64
 	vmWallet  map[string]int64
+	batchBuf  []platform.VCPUQuota
 }
 
 // New creates a controller.
@@ -134,6 +172,11 @@ func New(h platform.Host, cfg Config) (*Controller, error) {
 				}
 			}
 		}
+	}
+	// Batched quota writing is an optional capability too; without it
+	// the apply stage falls back to one SetMax per dirty vCPU.
+	if bw, ok := h.(platform.BatchQuotaWriter); ok {
+		c.batch = bw
 	}
 	return c, nil
 }
@@ -353,6 +396,12 @@ func (c *Controller) reconcileVM(rep *StepReport, st *VMState, info platform.VMI
 	}
 	st.Info = info
 	if reconfigured {
+		// A reconfiguration may have rebuilt the VM's cgroup tree on the
+		// host side; write the next caps through instead of trusting the
+		// last-applied cache.
+		for _, v := range st.VCPUs {
+			v.invalidateApplied()
+		}
 		rep.Reconfigured = append(rep.Reconfigured, info.Name)
 	}
 }
@@ -415,6 +464,20 @@ func (c *Controller) Step() error {
 	return err
 }
 
+// PeriodSleep returns how long a periodic caller should sleep after a
+// Step that took spent wall-clock time, clamped to zero when the Step
+// overran its period. The clamp matters: a naive `period - spent` sleep
+// goes negative on an overrun, and callers that pass a negative duration
+// to time.Sleep return immediately but then mis-attribute the overrun
+// time to the next period's usage delta.
+func (c *Controller) PeriodSleep(spent time.Duration) time.Duration {
+	period := time.Duration(c.cfg.PeriodUs) * time.Microsecond
+	if spent >= period {
+		return 0
+	}
+	return period - spent
+}
+
 // runStages executes the six stages under the watchdog: a per-stage
 // deadline check and a panic recovery that converts a crashing stage
 // into a degraded (but completed) step.
@@ -439,9 +502,12 @@ func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
 			Err: fmt.Errorf("core: recovered step panic: %v", r)})
 		// The panic may have unwound mid-stage: the surviving per-vCPU
 		// state is suspect, so every vCPU degrades (caps held, no credit
-		// accrual) until fresh measurements rebuild it.
+		// accrual) until fresh measurements rebuild it — and the
+		// last-applied quota cache is dropped, since the apply stage may
+		// have died between writing a cgroup and recording the write.
 		for _, st := range c.vms {
 			for _, v := range st.VCPUs {
+				v.invalidateApplied()
 				if !v.Degraded {
 					v.Degraded = true
 					v.FailedSteps++
@@ -449,6 +515,9 @@ func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
 			}
 		}
 	}()
+	// Placements are re-read below; whatever partition the last Step
+	// built no longer matches them.
+	c.partitionShards = 0
 
 	if err := c.syncVMs(rep); err != nil {
 		return err
@@ -461,17 +530,17 @@ func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
 	checkStage("monitor")
 
 	te := time.Now()
-	c.estimateAll()
+	c.estimateStage()
 	rep.Timings.Estimate = time.Since(te)
 	checkStage("estimate")
 
 	tf := time.Now()
-	c.enforceBase()
+	c.enforceStage()
 	rep.Timings.Enforce = time.Since(tf)
 	checkStage("enforce")
 
 	ta := time.Now()
-	market := c.market()
+	market := c.marketStage()
 	market = c.auctionSharded(market)
 	rep.Timings.Auction = time.Since(ta)
 	checkStage("auction")
@@ -688,6 +757,9 @@ func (c *Controller) commitVCPU(rep *StepReport, s *monitorSlot) {
 	if s.err != nil {
 		v.Degraded = true
 		v.FailedSteps++
+		// The failed read often means the cgroup vanished; if it comes
+		// back it comes back unlimited, so the quota must be rewritten.
+		v.invalidateApplied()
 		rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "monitor", Op: s.op, Err: s.err})
 		return
 	}
@@ -705,6 +777,9 @@ func (c *Controller) commitVCPU(rep *StepReport, s *monitorSlot) {
 		u := s.usage - v.PrevUsageUs
 		if u < 0 {
 			u = 0 // counter reset (VM restart)
+			// The restart rebuilt the cgroup with an unlimited quota;
+			// forget the cached write so apply restores ours.
+			v.invalidateApplied()
 		}
 		if u > c.cfg.PeriodUs {
 			// A delta spanning periods missed while degraded; clamp

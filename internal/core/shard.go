@@ -6,9 +6,18 @@ import (
 	"sync/atomic"
 )
 
-// This file implements the NUMA-sharded variant of stage 4 (Algorithm 1).
+// This file implements the NUMA-sharded variants of stages 2–4: one
+// placement partition feeds estimation, base enforcement and the auction
+// (Algorithm 1).
 //
-// The serial auction is the last sequential pass over every vCPU in the
+// Stages 2–3 shard trivially and exactly: estimation is per-vCPU pure,
+// the Eq. 4 credit accrual is a commutative per-VM sum (accumulated
+// per shard, merged at a single barrier, clamped once per VM exactly as
+// the serial pass does), and the Eq. 6 market is a commutative cap sum.
+// The sharded stages are therefore bit-identical to the serial ones at
+// any shard count.
+//
+// The serial auction was the last sequential pass over every vCPU in the
 // control plane. Sharding splits it by NUMA node: buyers are partitioned
 // by the node of their last observed core (monitor stage placement), each
 // shard auctions a demand-proportional slice of the market against
@@ -32,9 +41,21 @@ import (
 // wallet mutation happens on the stepping goroutine before the shards
 // start (the split) and after they join (the merge).
 
-// auctionShard is one NUMA node's slice of a sharded auction run. Shards
+// auctionShard is one NUMA node's slice of a sharded stage run. Shards
 // are controller scratch, reused across Steps.
 type auctionShard struct {
+	// vcpus is the shard's slice of the full stage 2–3 partition: every
+	// tracked vCPU whose placement folds into this shard, degraded and
+	// warm ones included (the market cap sum needs all of them), in
+	// registration order. Filled by partitionStages.
+	vcpus []*VCPUState
+	// creditDelta accumulates the shard's Eq. 4 credit accruals per VM,
+	// merged into the wallets at the enforce barrier.
+	creditDelta map[string]int64
+	// capSum is Σ CapUs over the shard's vcpus after enforcement, the
+	// shard's contribution to the Eq. 6 market.
+	capSum int64
+
 	buyers []*VCPUState
 	// credit is the shard's ledger: the slice of each VM's wallet this
 	// shard may spend, debited as its buyers purchase cycles.
@@ -77,16 +98,30 @@ func (c *Controller) shardOf(v *VCPUState, shards int) int {
 	return node % shards
 }
 
+// effectiveEstimateShards resolves Config.EstimateShards: 0 follows the
+// effective auction shard count, so one knob sizes the partition that
+// feeds all three sharded stages.
+func (c *Controller) effectiveEstimateShards() int {
+	if n := c.cfg.EstimateShards; n != 0 {
+		return n
+	}
+	return c.effectiveShards()
+}
+
 // shardScratch returns n reset shards, growing the reused pool on demand.
 func (c *Controller) shardScratch(n int) []*auctionShard {
 	for len(c.shards) < n {
 		c.shards = append(c.shards, &auctionShard{
-			credit: map[string]int64{},
-			demand: map[string]int64{},
+			credit:      map[string]int64{},
+			demand:      map[string]int64{},
+			creditDelta: map[string]int64{},
 		})
 	}
 	sh := c.shards[:n]
 	for _, s := range sh {
+		s.vcpus = s.vcpus[:0]
+		clear(s.creditDelta)
+		s.capSum = 0
 		s.buyers = s.buyers[:0]
 		clear(s.credit)
 		clear(s.demand)
@@ -94,6 +129,125 @@ func (c *Controller) shardScratch(n int) []*auctionShard {
 		s.market = 0
 	}
 	return sh
+}
+
+// partitionStages splits every tracked vCPU into n shards by NUMA
+// placement, preserving registration order within each shard. The
+// partition then feeds stages 2, 3 and (when the shard counts agree) 4;
+// it stays valid until the next Step re-reads placements.
+func (c *Controller) partitionStages(n int) []*auctionShard {
+	sh := c.shardScratch(n)
+	for _, name := range c.order {
+		for _, v := range c.vms[name].VCPUs {
+			s := sh[c.shardOf(v, n)]
+			s.vcpus = append(s.vcpus, v)
+		}
+	}
+	c.partitionShards = n
+	return sh
+}
+
+// estimateStage dispatches stage 2: the serial per-vCPU pass at an
+// effective shard count of 1, the partitioned concurrent pass otherwise.
+// Both compute exactly the same estimates — estimation reads only the
+// vCPU's own state and the config.
+func (c *Controller) estimateStage() {
+	n := c.effectiveEstimateShards()
+	if n <= 1 {
+		c.estimateAll()
+		return
+	}
+	sh := c.partitionStages(n)
+	c.runShardsParallel(sh, opEstimate)
+}
+
+// enforceStage dispatches stage 3. The sharded pass accumulates the
+// Eq. 4 credit accruals per shard, then merges them into the VM wallets
+// at a single barrier on the stepping goroutine — integer addition is
+// commutative, so the merged wallet is bit-identical to the serial
+// accrual — and applies the credit-cap clamp once per VM, exactly where
+// the serial pass applies it.
+func (c *Controller) enforceStage() {
+	if c.partitionShards == 0 {
+		c.enforceBase()
+		return
+	}
+	sh := c.shards[:c.partitionShards]
+	c.runShardsParallel(sh, opEnforce)
+	for _, name := range c.order {
+		st := c.vms[name]
+		for _, s := range sh {
+			if d := s.creditDelta[name]; d != 0 {
+				st.CreditUs += d
+			}
+		}
+		if c.cfg.CreditCapPeriods > 0 {
+			cap := c.cfg.CreditCapPeriods * st.GuaranteeUs * int64(len(st.VCPUs))
+			if st.CreditUs > cap {
+				st.CreditUs = cap
+			}
+		}
+	}
+}
+
+// marketStage computes Eq. 6, from the per-shard cap sums when the
+// partitioned enforce pass ran (the same commutative sum the serial
+// market() takes over the VM map).
+func (c *Controller) marketStage() int64 {
+	if c.partitionShards == 0 {
+		return c.market()
+	}
+	total := int64(c.node.Cores) * c.cfg.PeriodUs
+	for _, s := range c.shards[:c.partitionShards] {
+		total -= s.capSum
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// runShardEstimate runs stage 2 over one shard's vCPUs. It writes only
+// EstUs of vCPUs this shard owns.
+func (c *Controller) runShardEstimate(s *auctionShard) {
+	for _, v := range s.vcpus {
+		if v.Degraded {
+			continue
+		}
+		v.EstUs = c.estimate(v)
+	}
+}
+
+// runShardEnforce runs stage 3 over one shard's vCPUs: Eq. 4 accruals
+// into the shard-local delta map, the Eq. 5 cap per vCPU, and the cap
+// sum for the market. c.vms is only read; every write lands in state
+// this shard owns.
+func (c *Controller) runShardEnforce(s *auctionShard) {
+	for _, v := range s.vcpus {
+		st := c.vms[v.VM]
+		if !v.Degraded {
+			if v.Hist.Len() > 0 && st.GuaranteeUs > v.LastU {
+				s.creditDelta[v.VM] += st.GuaranteeUs - v.LastU
+			}
+			if v.EstUs < st.GuaranteeUs {
+				v.CapUs = v.EstUs
+			} else {
+				v.CapUs = st.GuaranteeUs
+			}
+		}
+		s.capSum += v.CapUs
+	}
+}
+
+// mulDiv returns ⌊a·b/d⌋ exactly, for 0 ≤ b ≤ d and a ≥ 0, without ever
+// computing the full product a·b: with an unbounded wallet
+// (CreditCapPeriods = 0) the credit × demand product can exceed int64,
+// and the overflowed negative "share" would MINT credit at the wallet
+// split (wallet −= share with share < 0) and leak it across the barrier
+// merge. Decomposing a = q·d + r gives ⌊a·b/d⌋ = q·b + ⌊r·b/d⌋ with
+// every intermediate bounded by max(a, d²).
+func mulDiv(a, b, d int64) int64 {
+	return (a/d)*b + (a%d)*b/d
 }
 
 // auctionSharded implements stage 4 with NUMA sharding. At an effective
@@ -107,12 +261,6 @@ func (c *Controller) auctionSharded(market int64) int64 {
 	if market <= 0 {
 		return 0
 	}
-	buyers := c.buyers()
-	if len(buyers) == 0 {
-		return market
-	}
-
-	sh := c.shardScratch(shards)
 	if c.vmDemand == nil {
 		c.vmDemand = make(map[string]int64, len(c.vms))
 		c.vmWallet = make(map[string]int64, len(c.vms))
@@ -122,15 +270,48 @@ func (c *Controller) auctionSharded(market int64) int64 {
 	}
 
 	// Partition buyers by NUMA node and accumulate the split weights.
+	// When the stage 2–3 partition exists at the same shard count, the
+	// buyers fall out of it by filtering each shard's vCPU slice (same
+	// placement, same registration order); otherwise partition the
+	// buyer list from scratch.
+	var sh []*auctionShard
 	var totalDemand int64
-	for _, v := range buyers {
-		s := sh[c.shardOf(v, shards)]
-		s.buyers = append(s.buyers, v)
-		d := v.EstUs - v.CapUs
-		s.demand[v.VM] += d
-		s.demandTotal += d
-		c.vmDemand[v.VM] += d
-		totalDemand += d
+	if shards == c.partitionShards {
+		sh = c.shards[:shards]
+		nbuyers := 0
+		for _, s := range sh {
+			for _, v := range s.vcpus {
+				if v.Degraded || v.CapUs >= v.EstUs {
+					continue
+				}
+				s.buyers = append(s.buyers, v)
+				d := v.EstUs - v.CapUs
+				s.demand[v.VM] += d
+				s.demandTotal += d
+				c.vmDemand[v.VM] += d
+				totalDemand += d
+				nbuyers++
+			}
+		}
+		if nbuyers == 0 {
+			return market
+		}
+	} else {
+		c.partitionShards = 0 // the stale partition must not outlive this layout
+		buyers := c.buyers()
+		if len(buyers) == 0 {
+			return market
+		}
+		sh = c.shardScratch(shards)
+		for _, v := range buyers {
+			s := sh[c.shardOf(v, shards)]
+			s.buyers = append(s.buyers, v)
+			d := v.EstUs - v.CapUs
+			s.demand[v.VM] += d
+			s.demandTotal += d
+			c.vmDemand[v.VM] += d
+			totalDemand += d
+		}
 	}
 	for vm := range c.vmDemand {
 		c.vmWallet[vm] = c.vms[vm].CreditUs
@@ -139,17 +320,20 @@ func (c *Controller) auctionSharded(market int64) int64 {
 	// Split the market and the wallets proportionally to residual
 	// demand. Integer-floor remainders are not lost: the market
 	// remainder goes straight to the redistribution round and the
-	// wallet remainder stays spendable in the central wallet.
+	// wallet remainder stays spendable in the central wallet. Both
+	// splits divide through mulDiv — the plain products overflow int64
+	// once wallets grow unbounded, and an overflowed share would mint
+	// credit instead of conserving it.
 	leftover := market
 	for _, s := range sh {
 		if s.demandTotal == 0 {
 			continue
 		}
-		s.market = market * s.demandTotal / totalDemand
+		s.market = mulDiv(market, s.demandTotal, totalDemand)
 		leftover -= s.market
 		for vm, d := range s.demand {
 			st := c.vms[vm]
-			share := c.vmWallet[vm] * d / c.vmDemand[vm]
+			share := mulDiv(c.vmWallet[vm], d, c.vmDemand[vm])
 			if share > st.CreditUs {
 				share = st.CreditUs
 			}
@@ -158,7 +342,7 @@ func (c *Controller) auctionSharded(market int64) int64 {
 		}
 	}
 
-	c.runShardsParallel(sh)
+	c.runShardsParallel(sh, opAuction)
 
 	// Barrier merge: unsold shard markets join the central leftover and
 	// unspent ledger credit returns to the wallets.
@@ -177,12 +361,35 @@ func (c *Controller) auctionSharded(market int64) int64 {
 	return c.auction(leftover)
 }
 
-// runShardsParallel fans the per-shard auctions over a worker pool sized
-// like the monitor stage's (Config.MonitorWorkers, 0 = GOMAXPROCS),
-// pulling shard indices from a shared atomic counter. Worker panics are
+// shardOp selects the per-shard pass runShardsParallel fans out. An op
+// code instead of a func value keeps the serial fallback free of the
+// heap allocation a method-value capture would cost.
+type shardOp int
+
+const (
+	opAuction shardOp = iota
+	opEstimate
+	opEnforce
+)
+
+// runShard executes one pass over one shard.
+func (c *Controller) runShard(s *auctionShard, op shardOp) {
+	switch op {
+	case opAuction:
+		c.runShardAuction(s)
+	case opEstimate:
+		c.runShardEstimate(s)
+	case opEnforce:
+		c.runShardEnforce(s)
+	}
+}
+
+// runShardsParallel fans a per-shard pass over a worker pool sized like
+// the monitor stage's (Config.MonitorWorkers, 0 = GOMAXPROCS), pulling
+// shard indices from a shared atomic counter. Worker panics are
 // re-raised on the stepping goroutine so the Step watchdog sees them,
 // mirroring readParallel.
-func (c *Controller) runShardsParallel(sh []*auctionShard) {
+func (c *Controller) runShardsParallel(sh []*auctionShard, op shardOp) {
 	workers := c.cfg.MonitorWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -192,7 +399,7 @@ func (c *Controller) runShardsParallel(sh []*auctionShard) {
 	}
 	if workers <= 1 {
 		for _, s := range sh {
-			c.runShardAuction(s)
+			c.runShard(s, op)
 		}
 		return
 	}
@@ -218,7 +425,7 @@ func (c *Controller) runShardsParallel(sh []*auctionShard) {
 				if i >= len(sh) {
 					return
 				}
-				c.runShardAuction(sh[i])
+				c.runShard(sh[i], op)
 			}
 		}()
 	}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scriptedStageTwin builds a controller for the stage 2–3 sharding twins:
+// the scripted six-VM workload of scriptedTwin, with vCPU threads spread
+// across eight cores so a forced shard count actually partitions the
+// vCPUs, and the auction left serial so any divergence comes from the
+// sharded estimate/enforce passes alone. Both twins of a pair must be
+// built through this helper — it scripts host readings (placements,
+// frequencies) that the plain scriptedTwin host does not.
+func scriptedStageTwin(t *testing.T, estShards int) (*Controller, *faultScriptHost) {
+	t.Helper()
+	fh := newFakeHost()
+	fh.node.Cores = 8
+	for c := 0; c < 8; c++ {
+		fh.freq[c] = 2400
+	}
+	for i := 0; i < 6; i++ {
+		fh.addVM(fmt.Sprintf("vm%d", i), 2, 1200)
+	}
+	// fakeHost thread ids depend only on the vCPU index for the vmN
+	// names (same name length), so two placements cover every vCPU.
+	fh.lastCPU[1030] = 2
+	fh.lastCPU[1031] = 5
+	h := &faultScriptHost{fakeHost: fh, fails: map[string]bool{}}
+	h.fails["5:vm2/0"] = true
+	h.fails["6:vm2/0"] = true
+	h.fails["9:vm4/1"] = true
+	cfg := DefaultConfig()
+	cfg.EstimateShards = estShards
+	cfg.BurstFraction = 0.2
+	return mustController(t, h, cfg), h
+}
+
+// TestEstimateShardsBitIdentical is the tentpole acceptance twin: the
+// sharded estimate/enforce passes must be bit-identical to the serial
+// ones — reports, checkpoints and written quotas — at a shard count
+// that splits the vCPUs across several shards, under scripted faults.
+// This is a stronger contract than the auction's (whose per-buyer caps
+// may differ at N > 1): stages 2–3 commute exactly.
+func TestEstimateShardsBitIdentical(t *testing.T) {
+	serial, hs := scriptedStageTwin(t, 1)
+	sharded, hp := scriptedStageTwin(t, 8)
+	compareTwins(t, serial, hs, sharded, hp)
+}
+
+// TestEstimateShardsFollowAuction pins the EstimateShards = 0 default:
+// the stage 2–3 partition follows the effective auction shard count.
+func TestEstimateShardsFollowAuction(t *testing.T) {
+	h := &topologyHost{fakeHost: newFakeHost(), nodes: []int{0, 0, 1, 1}}
+	cfg := DefaultConfig()
+	cfg.AuctionShards = 0 // auto: one shard per NUMA node
+	ctrl := mustController(t, h, cfg)
+	if got := ctrl.effectiveEstimateShards(); got != 2 {
+		t.Fatalf("effectiveEstimateShards = %d, want 2 (following auto auction shards)", got)
+	}
+	cfg.AuctionShards = 1
+	cfg.EstimateShards = 6
+	ctrl = mustController(t, h, cfg)
+	if got := ctrl.effectiveEstimateShards(); got != 6 {
+		t.Fatalf("effectiveEstimateShards = %d, want the forced 6", got)
+	}
+}
+
+// TestEstimateShardsSeededEquivalence drives 1-vs-N full-pipeline twins
+// over 100 random workloads (consumption and thread placement re-rolled
+// every step) and requires bit-identical checkpoints after every Step.
+// The shard count varies with the seed so every partition arity in
+// [2, 8] is covered.
+func TestEstimateShardsSeededEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		shards := 2 + int(seed%7)
+		build := func(n int) (*Controller, *fakeHost) {
+			h := newFakeHost()
+			h.node.Cores = 16
+			for c := 0; c < 16; c++ {
+				h.freq[c] = 2400
+			}
+			for i := 0; i < 5; i++ {
+				h.addVM(fmt.Sprintf("vm%d", i), 2, 1200)
+			}
+			cfg := DefaultConfig()
+			cfg.EstimateShards = n
+			cfg.CreditCapPeriods = 3 // exercise the post-merge clamp
+			return mustController(t, h, cfg), h
+		}
+		a, ha := build(1)
+		b, hb := build(shards)
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 8; step++ {
+			for i := 0; i < 5; i++ {
+				for j := 0; j < 2; j++ {
+					u := int64(rng.Intn(1_000_000))
+					ha.consume(fmt.Sprintf("vm%d", i), j, u)
+					hb.consume(fmt.Sprintf("vm%d", i), j, u)
+				}
+			}
+			// Re-roll the two shared thread placements so vCPUs migrate
+			// between shards across steps.
+			for _, tid := range []int{1030, 1031} {
+				core := rng.Intn(16)
+				ha.lastCPU[tid] = core
+				hb.lastCPU[tid] = core
+			}
+			if err := a.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Step(); err != nil {
+				t.Fatal(err)
+			}
+			snapA, err := a.Snapshot().JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapB, err := b.Snapshot().JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := stripTimings(snapA), stripTimings(snapB); s != p {
+				t.Fatalf("seed %d step %d (shards=%d): checkpoints diverged:\nserial:\n%s\nsharded:\n%s",
+					seed, step, shards, s, p)
+			}
+		}
+	}
+}
+
+// TestAuctionShardedWalletOverflowConservation pins the mulDiv fix in
+// the demand-proportional splits: with unbounded wallets near the int64
+// ceiling the wallet × demand product overflows, and the old plain
+// multiply produced a negative "share" that MINTED credit at the split
+// (wallet −= share) and leaked it across the barrier merge. The split
+// must conserve credit exactly and never drive a wallet negative, and
+// the sharded aggregates must still match the serial pass.
+func TestAuctionShardedWalletOverflowConservation(t *testing.T) {
+	huge := []int64{1 << 55, (1 << 56) - 1, 1<<55 + 12345, 1 << 54, (1 << 55) + 7, 1 << 53}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, market := randomAuctionTwin(t, rng, 4)
+		for _, c := range []*Controller{a, b} {
+			for i, vs := range c.VMs() {
+				vs.CreditUs = huge[i%len(huge)]
+			}
+		}
+		capsB0, credB0 := sumCapsCredits(b)
+		leftB := b.auctionSharded(market)
+		capsB, credB := sumCapsCredits(b)
+		sold := capsB - capsB0
+		if sold != market-leftB {
+			t.Fatalf("seed %d: market leaked: sold %d, market %d, left %d", seed, sold, market, leftB)
+		}
+		if charged := credB0 - credB; charged != sold {
+			t.Fatalf("seed %d: credit not conserved: charged %d, sold %d", seed, charged, sold)
+		}
+		for _, vs := range b.VMs() {
+			if vs.CreditUs < 0 {
+				t.Fatalf("seed %d: wallet of %s went negative: %d", seed, vs.Info.Name, vs.CreditUs)
+			}
+		}
+		// The serial pass never multiplies, so it is the overflow-free
+		// reference: aggregates must agree.
+		leftA := a.auctionSharded(market)
+		capsA, credA := sumCapsCredits(a)
+		if leftA != leftB || capsA != capsB || credA != credB {
+			t.Fatalf("seed %d: aggregates diverged: left %d vs %d, caps %d vs %d, credits %d vs %d",
+				seed, leftA, leftB, capsA, capsB, credA, credB)
+		}
+	}
+}
+
+// TestMulDiv exercises the exact floor decomposition directly, against
+// big-integer-free reference cases chosen so the plain a·b product
+// overflows int64.
+func TestMulDiv(t *testing.T) {
+	cases := []struct{ a, b, d, want int64 }{
+		{0, 3, 7, 0},
+		{100, 3, 7, 42}, // ⌊300/7⌋
+		{1 << 62, 1, 3, 1 << 62 / 3},
+		{1 << 55, 1_000_000, 3_000_000, 1 << 55 / 3},
+		{(1 << 56) - 1, 999_999, 1_000_000,
+			((1<<56-1)/1_000_000)*999_999 + ((1<<56-1)%1_000_000)*999_999/1_000_000},
+	}
+	for _, c := range cases {
+		if got := mulDiv(c.a, c.b, c.d); got != c.want {
+			t.Fatalf("mulDiv(%d, %d, %d) = %d, want %d", c.a, c.b, c.d, got, c.want)
+		}
+	}
+	// Property check against a widened reference on non-overflowing
+	// operands: mulDiv must equal ⌊a·b/d⌋.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		d := int64(rng.Intn(1_000_000) + 1)
+		b := int64(rng.Intn(int(d) + 1))
+		a := int64(rng.Intn(1_000_000_000))
+		if got, want := mulDiv(a, b, d), a*b/d; got != want {
+			t.Fatalf("mulDiv(%d, %d, %d) = %d, want %d", a, b, d, got, want)
+		}
+	}
+}
+
+// TestEstimateShardsRace runs the fully sharded three-stage pipeline
+// (estimate, enforce, auction on one partition) with a concurrent pool
+// under the race detector.
+func TestEstimateShardsRace(t *testing.T) {
+	fh := newFakeHost()
+	fh.node.Cores = 16
+	for c := 0; c < 16; c++ {
+		fh.freq[c] = 2400
+	}
+	h := &topologyHost{fakeHost: fh, nodes: []int{
+		0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+	}}
+	for i := 0; i < 12; i++ {
+		h.addVM(fmt.Sprintf("vm%d", i), 4, 1200)
+	}
+	tid := 0
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 4; j++ {
+			id, err := h.ThreadID(fmt.Sprintf("vm%d", i), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.lastCPU[id] = tid % 16
+			tid++
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.AuctionShards = 0 // auto: 4 shards, estimate/enforce follow
+	cfg.MonitorWorkers = 8
+	ctrl := mustController(t, h, cfg)
+	for s := 0; s < 10; s++ {
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 4; j++ {
+				h.consume(fmt.Sprintf("vm%d", i), j, int64(200_000+(i*4+j)*9_000))
+			}
+		}
+		if err := ctrl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, vs := range ctrl.VMs() {
+			if vs.CreditUs < 0 {
+				t.Fatalf("step %d: wallet of %s went negative: %d", s, vs.Info.Name, vs.CreditUs)
+			}
+		}
+	}
+}

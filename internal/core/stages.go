@@ -1,5 +1,7 @@
 package core
 
+import "vfreq/internal/platform"
+
 // estimateAll implements stage 2: per-vCPU estimation of the upcoming
 // consumption, using the Eq. 3 trend over the consumption history and the
 // trigger/factor mechanism of §III-B2. Degraded vCPUs have no fresh
@@ -198,9 +200,28 @@ func (c *Controller) distribute(market int64) {
 	}
 }
 
+// quotaFor translates one vCPU's cycle allocation (per control period p)
+// into the cpu.max quota written against the shorter cgroup bandwidth
+// period, floored at MinQuotaUs so an idle vCPU can always wake up.
+func (c *Controller) quotaFor(v *VCPUState) int64 {
+	quota := v.CapUs * c.cfg.CgroupPeriodUs / c.cfg.PeriodUs
+	if quota < c.cfg.MinQuotaUs {
+		quota = c.cfg.MinQuotaUs
+	}
+	return quota
+}
+
 // apply implements stage 6: translate the per-vCPU cycle allocations into
 // cgroup cpu.max quotas. Allocations are expressed per control period p;
 // quotas are written against the (shorter) cgroup bandwidth period.
+//
+// Application is incremental: each vCPU caches the (quota, period) last
+// written successfully, and a vCPU whose fresh quota matches the cache is
+// skipped, so a steady-state step issues no host writes at all. The cache
+// is dropped whenever the cgroup may no longer hold what was written (see
+// VCPUState.invalidateApplied), so a skipped write can never leave a
+// stale cap behind. On hosts with the BatchQuotaWriter capability the
+// dirty quotas of each VM are written in one batched call.
 //
 // Application is fault-isolated: a failed write degrades that vCPU alone
 // (its cgroup keeps the previous quota, which equals the held cap) while
@@ -208,37 +229,23 @@ func (c *Controller) distribute(market int64) {
 // in monitoring are skipped — their cap is unchanged, so the quota in
 // the cgroup is already the one we would write.
 func (c *Controller) apply(rep *StepReport) {
+	if c.batch != nil {
+		c.applyBatched(rep)
+		return
+	}
 	for _, name := range c.order {
 		for _, v := range c.vms[name].VCPUs {
 			if v.Degraded {
 				continue
 			}
-			quota := v.CapUs * c.cfg.CgroupPeriodUs / c.cfg.PeriodUs
-			if quota < c.cfg.MinQuotaUs {
-				quota = c.cfg.MinQuotaUs
-			}
-			// Explicit retry loops instead of withRetry: the closure a
-			// per-vCPU capture would need escapes to the heap, and apply
-			// is part of the allocation-free steady-state path.
-			var err error
-			for a := 0; a <= c.cfg.HostRetries; a++ {
-				if err = c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err == nil {
-					if a > 0 {
-						rep.Retries++
-					}
-					break
-				}
-			}
-			if err != nil {
-				v.Degraded = true
-				v.FailedSteps++
-				rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setmax", Err: err})
-				continue
-			}
-			if c.cfg.BurstFraction > 0 {
-				burst := int64(float64(quota) * c.cfg.BurstFraction)
+			quota := c.quotaFor(v)
+			if !(v.appliedQuotaOK && v.appliedQuotaUs == quota && v.appliedPeriodUs == c.cfg.CgroupPeriodUs) {
+				// Explicit retry loops instead of withRetry: the closure a
+				// per-vCPU capture would need escapes to the heap, and apply
+				// is part of the allocation-free steady-state path.
+				var err error
 				for a := 0; a <= c.cfg.HostRetries; a++ {
-					if err = c.host.SetBurst(v.VM, v.Index, burst); err == nil {
+					if err = c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err == nil {
 						if a > 0 {
 							rep.Retries++
 						}
@@ -246,11 +253,108 @@ func (c *Controller) apply(rep *StepReport) {
 					}
 				}
 				if err != nil {
+					v.invalidateApplied()
 					v.Degraded = true
 					v.FailedSteps++
-					rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setburst", Err: err})
+					rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setmax", Err: err})
+					continue
 				}
+				v.appliedQuotaUs = quota
+				v.appliedPeriodUs = c.cfg.CgroupPeriodUs
+				v.appliedQuotaOK = true
 			}
+			c.applyBurst(rep, v, quota)
+		}
+	}
+}
+
+// applyBurst writes one vCPU's cpu.max.burst budget when burst control is
+// enabled and the budget differs from the last one applied.
+func (c *Controller) applyBurst(rep *StepReport, v *VCPUState, quota int64) {
+	if c.cfg.BurstFraction <= 0 {
+		return
+	}
+	burst := int64(float64(quota) * c.cfg.BurstFraction)
+	if v.appliedBurstOK && v.appliedBurstUs == burst {
+		return
+	}
+	var err error
+	for a := 0; a <= c.cfg.HostRetries; a++ {
+		if err = c.host.SetBurst(v.VM, v.Index, burst); err == nil {
+			if a > 0 {
+				rep.Retries++
+			}
+			break
+		}
+	}
+	if err != nil {
+		v.invalidateApplied()
+		v.Degraded = true
+		v.FailedSteps++
+		rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setburst", Err: err})
+		return
+	}
+	v.appliedBurstUs = burst
+	v.appliedBurstOK = true
+}
+
+// applyBatched is the apply stage over the host's BatchQuotaWriter
+// capability: the dirty quotas of each VM are collected into one batch
+// (which the Linux backend groups by the VM's slice directory over its
+// cached descriptors) and written in a single host call. Per-entry
+// outcomes then resolve exactly like the serial path — a failed entry is
+// retried individually up to HostRetries times (the batch write counts
+// as the first attempt), and a final failure degrades that vCPU with its
+// last-applied cache dropped, keeping the entry dirty for the next step.
+// Burst budgets follow per vCPU through the serial helper.
+func (c *Controller) applyBatched(rep *StepReport) {
+	for _, name := range c.order {
+		st := c.vms[name]
+		buf := c.batchBuf[:0]
+		for _, v := range st.VCPUs {
+			if v.Degraded {
+				continue
+			}
+			quota := c.quotaFor(v)
+			if v.appliedQuotaOK && v.appliedQuotaUs == quota && v.appliedPeriodUs == c.cfg.CgroupPeriodUs {
+				continue
+			}
+			buf = append(buf, platform.VCPUQuota{VCPU: v.Index, QuotaUs: quota, PeriodUs: c.cfg.CgroupPeriodUs})
+		}
+		c.batchBuf = buf
+		if len(buf) > 0 {
+			// The summary error is redundant with the per-entry Err
+			// fields resolved below.
+			_ = c.batch.BatchSetMax(name, buf)
+		}
+		// The batch holds the dirty subset of st.VCPUs in index order, so
+		// one ordered cursor matches entries back to their vCPUs.
+		bi := 0
+		for _, v := range st.VCPUs {
+			if v.Degraded {
+				continue
+			}
+			quota := c.quotaFor(v)
+			if bi < len(buf) && buf[bi].VCPU == v.Index {
+				err := buf[bi].Err
+				bi++
+				for a := 1; err != nil && a <= c.cfg.HostRetries; a++ {
+					if err = c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err == nil {
+						rep.Retries++
+					}
+				}
+				if err != nil {
+					v.invalidateApplied()
+					v.Degraded = true
+					v.FailedSteps++
+					rep.record(Fault{VM: v.VM, VCPU: v.Index, Stage: "apply", Op: "setmax", Err: err})
+					continue
+				}
+				v.appliedQuotaUs = quota
+				v.appliedPeriodUs = c.cfg.CgroupPeriodUs
+				v.appliedQuotaOK = true
+			}
+			c.applyBurst(rep, v, quota)
 		}
 	}
 }

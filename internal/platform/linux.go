@@ -132,6 +132,11 @@ func (h *handle) close() {
 func (l *Linux) vcpu(vm string, vcpu int) *vcpuFiles {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.vcpuLocked(vm, vcpu)
+}
+
+// vcpuLocked is vcpu for callers already holding l.mu.
+func (l *Linux) vcpuLocked(vm string, vcpu int) *vcpuFiles {
 	if l.vcpus == nil {
 		l.vcpus = map[vcpuRef]*vcpuFiles{}
 	}
@@ -358,6 +363,35 @@ func (l *Linux) SetMax(vm string, vcpu int, quotaUs, periodUs int64) error {
 	b = append(b, ' ')
 	b = strconv.AppendInt(b, periodUs, 10)
 	return h.write(b)
+}
+
+// BatchSetMax implements BatchQuotaWriter: the VM's quota writes in one
+// pass over the cached cpu.max descriptors. The handle cache is resolved
+// under a single l.mu acquisition for the whole batch instead of one per
+// vCPU; l.mu then stays held across the writes, which is safe (the lock
+// order l.mu → handle.mu is never taken in reverse) and uncontended in
+// practice — the apply stage never overlaps the monitor stage's lookups.
+// Every entry is attempted; a failed write records its error in the
+// entry (dropping that descriptor so the next write reopens the path)
+// and the first failure becomes the summary error.
+func (l *Linux) BatchSetMax(vm string, quotas []VCPUQuota) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var firstErr error
+	for i := range quotas {
+		q := &quotas[i]
+		h := &l.vcpuLocked(vm, q.VCPU).max
+		h.mu.Lock()
+		b := strconv.AppendInt(h.buf[:0], q.QuotaUs, 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, q.PeriodUs, 10)
+		q.Err = h.write(b)
+		h.mu.Unlock()
+		if q.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("platform: batch cpu.max of %s/vcpu%d: %w", vm, q.VCPU, q.Err)
+		}
+	}
+	return firstErr
 }
 
 // ReadMax implements QuotaReader. It is an inspection path, not part of

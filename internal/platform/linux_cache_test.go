@@ -3,6 +3,7 @@ package platform
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -95,4 +96,81 @@ func TestLinuxConcurrentReads(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestLinuxBatchSetMax: the batched write lands every entry through the
+// cached descriptors, records per-entry outcomes, and — once the
+// descriptors are warm — allocates nothing per call.
+func TestLinuxBatchSetMax(t *testing.T) {
+	l := fixtureHost(t)
+	quotas := []VCPUQuota{
+		{VCPU: 0, QuotaUs: 25_000, PeriodUs: 100_000},
+		{VCPU: 1, QuotaUs: 30_000, PeriodUs: 100_000},
+	}
+	if err := l.BatchSetMax("guest1", quotas); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"25000 100000", "30000 100000"} {
+		if quotas[i].Err != nil {
+			t.Fatalf("entry %d: %v", i, quotas[i].Err)
+		}
+		raw, err := os.ReadFile(filepath.Join(l.CgroupRoot,
+			"machine-qemu-guest1.scope/vcpu"+strconv.Itoa(i)+"/cpu.max"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != want {
+			t.Fatalf("vcpu%d cpu.max = %q, want %q", i, raw, want)
+		}
+	}
+	if raceEnabled {
+		return
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		quotas[0].QuotaUs++
+		quotas[1].QuotaUs++
+		if err := l.BatchSetMax("guest1", quotas); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm BatchSetMax allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestLinuxBatchSetMaxPartialFailure: a vanished vCPU cgroup fails its
+// own entry only — the batch still attempts (and lands) every other
+// entry, the per-entry Err pinpoints the victim, and the summary error
+// is non-nil.
+func TestLinuxBatchSetMaxPartialFailure(t *testing.T) {
+	l := fixtureHost(t)
+	if _, err := l.UsageUs("guest1", 1); err != nil {
+		t.Fatal(err) // warm the handles so the stale-descriptor path runs
+	}
+	if err := os.RemoveAll(filepath.Join(l.CgroupRoot, "machine-qemu-guest1.scope/vcpu1")); err != nil {
+		t.Fatal(err)
+	}
+	l.pruneDeparted(nil) // drop the cached descriptors, as ListVMs would
+
+	quotas := []VCPUQuota{
+		{VCPU: 0, QuotaUs: 40_000, PeriodUs: 100_000},
+		{VCPU: 1, QuotaUs: 45_000, PeriodUs: 100_000},
+	}
+	err := l.BatchSetMax("guest1", quotas)
+	if err == nil {
+		t.Fatal("summary error nil with a failed entry")
+	}
+	if quotas[0].Err != nil {
+		t.Fatalf("healthy entry failed: %v", quotas[0].Err)
+	}
+	if quotas[1].Err == nil {
+		t.Fatal("vanished vcpu1 entry reported success")
+	}
+	raw, rerr := os.ReadFile(filepath.Join(l.CgroupRoot, "machine-qemu-guest1.scope/vcpu0/cpu.max"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(raw) != "40000 100000" {
+		t.Fatalf("vcpu0 cpu.max = %q after partial failure, want \"40000 100000\"", raw)
+	}
 }

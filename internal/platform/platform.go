@@ -65,6 +65,29 @@ type Topology interface {
 	CoreNodes() ([]int, error)
 }
 
+// VCPUQuota is one entry of a BatchSetMax call: the quota to write for
+// one vCPU of the batch's VM, plus the per-entry outcome. Err is set by
+// the host implementation — nil when the write landed, the write error
+// otherwise — so a caller can tell exactly which vCPUs of a partially
+// failed batch still hold their previous quota.
+type VCPUQuota struct {
+	VCPU     int
+	QuotaUs  int64
+	PeriodUs int64
+	Err      error
+}
+
+// BatchQuotaWriter is an optional Host capability: writing the cpu.max
+// quotas of several vCPUs of one VM in a single call. Implementations
+// must attempt every entry (a failed write never aborts the rest),
+// record the per-entry outcome in quotas[i].Err, and return a non-nil
+// error iff at least one entry failed. The controller's apply stage uses
+// it to group the dirty quotas of a VM into one pass over the host's
+// cached descriptors instead of a call per vCPU.
+type BatchQuotaWriter interface {
+	BatchSetMax(vm string, quotas []VCPUQuota) error
+}
+
 // QuotaReader is an optional Host capability: reading back the cgroup
 // cpu.max quota currently in force for a vCPU. The controller uses it on
 // restart to adopt quotas it did not write this incarnation (cold-start

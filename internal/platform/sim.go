@@ -55,6 +55,21 @@ func (s *Sim) SetMax(vmName string, vcpu int, quotaUs, periodUs int64) error {
 		fmt.Sprintf("%d %d", quotaUs, periodUs))
 }
 
+// BatchSetMax implements BatchQuotaWriter: every entry writes through
+// the emulated cpu.max pseudo-file (there is no descriptor cache to
+// amortise in the simulator), recording the per-entry outcome.
+func (s *Sim) BatchSetMax(vmName string, quotas []VCPUQuota) error {
+	var firstErr error
+	for i := range quotas {
+		q := &quotas[i]
+		q.Err = s.SetMax(vmName, q.VCPU, q.QuotaUs, q.PeriodUs)
+		if q.Err != nil && firstErr == nil {
+			firstErr = q.Err
+		}
+	}
+	return firstErr
+}
+
 // ReadMax implements QuotaReader: it reads the vCPU's cpu.max back
 // through the pseudo-file, exactly as the controller would on Linux.
 func (s *Sim) ReadMax(vmName string, vcpu int) (int64, int64, error) {
