@@ -79,14 +79,29 @@ type Scenario struct {
 	// it.
 	EstimateShards int `json:"estimate_shards,omitempty"`
 
+	// Robustness knobs (zero values keep the features off, matching
+	// core.DefaultConfig). CallBudgetUs bounds each host call;
+	// RetryBackoffUs/RetryBackoffMaxUs arm jittered exponential retry
+	// backoff; BreakerThreshold/BreakerOpenSteps arm the per-VM circuit
+	// breaker; Seed fixes the backoff jitter stream.
+	CallBudgetUs      int64 `json:"call_budget_us,omitempty"`
+	RetryBackoffUs    int64 `json:"retry_backoff_us,omitempty"`
+	RetryBackoffMaxUs int64 `json:"retry_backoff_max_us,omitempty"`
+	BreakerThreshold  int   `json:"breaker_threshold,omitempty"`
+	BreakerOpenSteps  int   `json:"breaker_open_steps,omitempty"`
+	Seed              int64 `json:"seed,omitempty"`
+
 	// Fault injection (sim mode): each listed host call site fails
-	// independently with probability FaultRate. Sites default to the
-	// monitor-path reads (UsageUs, ThreadID, LastCPU, CoreFreqMHz)
-	// plus SetMax; seed 0 means 1. See the controller's degradation
-	// columns in the CSV for the effect.
-	FaultRate  float64  `json:"fault_rate,omitempty"`
-	FaultSites []string `json:"fault_sites,omitempty"`
-	FaultSeed  int64    `json:"fault_seed,omitempty"`
+	// independently with probability FaultRate and stalls with
+	// probability FaultDelayRate for up to FaultDelayUs µs. Sites
+	// default to the monitor-path reads (UsageUs, ThreadID, LastCPU,
+	// CoreFreqMHz) plus SetMax; seed 0 means 1. See the controller's
+	// degradation columns in the CSV for the effect.
+	FaultRate      float64  `json:"fault_rate,omitempty"`
+	FaultDelayRate float64  `json:"fault_delay_rate,omitempty"`
+	FaultDelayUs   int64    `json:"fault_delay_us,omitempty"`
+	FaultSites     []string `json:"fault_sites,omitempty"`
+	FaultSeed      int64    `json:"fault_seed,omitempty"`
 
 	VMs []ScenarioVM `json:"vms"`
 }
@@ -354,13 +369,29 @@ func controllerConfig(sc Scenario) core.Config {
 		cfg.EstimateShards = sc.EstimateShards
 	}
 	cfg.ControlEnabled = sc.Control
+	if sc.CallBudgetUs > 0 {
+		cfg.CallBudgetUs = sc.CallBudgetUs
+	}
+	if sc.RetryBackoffUs > 0 {
+		cfg.RetryBackoffUs = sc.RetryBackoffUs
+	}
+	if sc.RetryBackoffMaxUs > 0 {
+		cfg.RetryBackoffMaxUs = sc.RetryBackoffMaxUs
+	}
+	if sc.BreakerThreshold > 0 {
+		cfg.BreakerThreshold = sc.BreakerThreshold
+	}
+	if sc.BreakerOpenSteps > 0 {
+		cfg.BreakerOpenSteps = sc.BreakerOpenSteps
+	}
+	cfg.Seed = sc.Seed
 	return cfg
 }
 
 // faultHost wraps h with the scenario's fault plans, or returns it
 // unchanged when no injection is configured.
 func faultHost(sc Scenario, h platform.Host) (platform.Host, error) {
-	if sc.FaultRate <= 0 {
+	if sc.FaultRate <= 0 && sc.FaultDelayRate <= 0 {
 		return h, nil
 	}
 	seed := sc.FaultSeed
@@ -381,7 +412,13 @@ func faultHost(sc Scenario, h platform.Host) (platform.Host, error) {
 		if err != nil {
 			return nil, err
 		}
-		fh.Plan(site, platform.FaultPlan{Rate: sc.FaultRate})
+		if err := fh.Plan(site, platform.FaultPlan{
+			Rate:      sc.FaultRate,
+			DelayRate: sc.FaultDelayRate,
+			DelayUs:   sc.FaultDelayUs,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return fh, nil
 }
@@ -442,7 +479,7 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 	for _, v := range sc.VMs {
 		fmt.Fprintf(out, ",%s_mhz,%s_credit", v.Name, v.Name)
 	}
-	fmt.Fprintln(out, ",market_us,energy_j,degraded,faults,overrun,recovered")
+	fmt.Fprintln(out, ",market_us,energy_j,degraded,faults,overrun,recovered,open_vms,halfopen_vms")
 	period := ctrl.Config().PeriodUs
 	health := trace.NewRecorder()
 	var prevEnergy float64
@@ -476,8 +513,9 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 		if rep.Overrun {
 			overrun = 1
 		}
-		fmt.Fprintf(out, ",%d,%.0f,%d,%d,%d,%d\n", market, e-prevEnergy,
-			rep.DegradedVCPUs, rep.FaultCount(), overrun, rep.Recovered)
+		fmt.Fprintf(out, ",%d,%.0f,%d,%d,%d,%d,%d,%d\n", market, e-prevEnergy,
+			rep.DegradedVCPUs, rep.FaultCount(), overrun, rep.Recovered,
+			rep.OpenVMs, rep.HalfOpenVMs)
 		prevEnergy = e
 		health.RecordAll(float64(step+1), map[string]float64{
 			"degraded_vcpus": float64(rep.DegradedVCPUs),
@@ -485,6 +523,8 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 			"retries":        float64(rep.Retries),
 			"overruns":       float64(overrun),
 			"recovered":      float64(rep.Recovered),
+			"open_vms":       float64(rep.OpenVMs),
+			"halfopen_vms":   float64(rep.HalfOpenVMs),
 		})
 	}
 	fmt.Fprintf(os.Stderr, "vfctl: %d periods, controller avg step %v\n",

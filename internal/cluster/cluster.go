@@ -596,6 +596,13 @@ type Health struct {
 	// Step; StrandedVMs those left behind for lack of a feasible target.
 	EvacuatedVMs int
 	StrandedVMs  int
+	// OpenVMs and HalfOpenVMs count the circuit breaker states across
+	// the cluster: VMs quarantined after repeated faults and VMs being
+	// probed for re-admission.
+	OpenVMs     int
+	HalfOpenVMs int
+	// BreakerTrips counts breakers that opened during the last Step.
+	BreakerTrips int
 }
 
 // Health aggregates the per-node degradation reports of the last Step.
@@ -616,6 +623,9 @@ func (c *Cluster) Health() Health {
 			h.Overruns++
 		}
 		h.Recovered += rep.Recovered
+		h.OpenVMs += rep.OpenVMs
+		h.HalfOpenVMs += rep.HalfOpenVMs
+		h.BreakerTrips += rep.BreakerTrips
 	}
 	h.EvacuatedVMs = c.lastEvacuated
 	h.StrandedVMs = c.lastStranded
@@ -635,6 +645,8 @@ func (c *Cluster) RecordHealth(rec *trace.Recorder, tS float64) {
 		"cluster_overruns":       float64(h.Overruns),
 		"cluster_evacuated_vms":  float64(h.EvacuatedVMs),
 		"cluster_stranded_vms":   float64(h.StrandedVMs),
+		"cluster_open_vms":       float64(h.OpenVMs),
+		"cluster_halfopen_vms":   float64(h.HalfOpenVMs),
 	}
 	for _, n := range c.nodes {
 		values[fmt.Sprintf("node%d_degraded", n.Index)] = float64(n.LastReport.DegradedVCPUs)

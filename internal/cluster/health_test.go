@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"vfreq/internal/core"
 	"vfreq/internal/host"
 	"vfreq/internal/trace"
 	"vfreq/internal/vm"
@@ -111,6 +112,70 @@ func TestRecordHealthSeries(t *testing.T) {
 		if s.Sum() != 0 {
 			t.Fatalf("series %q non-zero on healthy cluster", name)
 		}
+	}
+}
+
+// A persistently faulty VM trips its per-VM circuit breaker and the
+// quarantine surfaces in the cluster Health aggregate and the health
+// trace series; once the fault clears, the breaker drains and the
+// cluster reports fully healthy again.
+func TestHealthSurfacesBreakerStates(t *testing.T) {
+	cfg := Config{Controller: core.DefaultConfig()}
+	cfg.Controller.HostRetries = 0
+	cfg.Controller.BreakerThreshold = 2
+	cfg.Controller.BreakerOpenSteps = 2
+	c, err := New([]host.Spec{host.Chetemi()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("a", vm.Small(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("b", vm.Small(), busy(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("cgroup vanished")
+	c.Nodes()[0].Machine.FailReads("machine-qemu-b.scope", boom, -1)
+	rec := trace.NewRecorder()
+	tripped := false
+	for i := 0; i < 2+1; i++ { // BreakerThreshold faulty steps, then the trip is visible
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		c.RecordHealth(rec, float64(i))
+		if h := c.Health(); h.OpenVMs == 1 {
+			if h.BreakerTrips != 1 {
+				t.Fatalf("open VM without a counted trip: %+v", h)
+			}
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatalf("breaker never opened: %+v", c.Health())
+	}
+	if s := rec.Series("cluster_open_vms"); s == nil {
+		t.Fatal("cluster_open_vms series missing")
+	}
+	// Clear the fault and step until the breaker drains: open window,
+	// half-open probes, then fully closed and healthy.
+	c.Nodes()[0].Machine.ClearFileFaults()
+	healthy := false
+	for i := 0; i < 12; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		h := c.Health()
+		if h.OpenVMs == 0 && h.HalfOpenVMs == 0 && h.DegradedVCPUs == 0 {
+			healthy = true
+			break
+		}
+	}
+	if !healthy {
+		t.Fatalf("breaker never drained after fault cleared: %+v", c.Health())
 	}
 }
 

@@ -176,7 +176,7 @@ func TestApplyBatchedPartialFailure(t *testing.T) {
 	}
 	steadyState(t, ctrl, inner, map[string]int{"a": 3}, 400_000, 8)
 
-	fh.Plan(platform.SiteBatchSetMax, platform.FaultPlan{
+	fh.MustPlan(platform.SiteBatchSetMax, platform.FaultPlan{
 		Persistent: true,
 		Match:      func(vm string, vcpu int) bool { return vcpu == 1 },
 	})

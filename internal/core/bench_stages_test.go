@@ -68,6 +68,15 @@ func benchController(tb testing.TB, vms, vcpus, workers int) *Controller {
 	tb.Helper()
 	cfg := DefaultConfig()
 	cfg.MonitorWorkers = workers
+	// The robustness layer runs armed in every benchmark and zero-alloc
+	// gate: per-call budget timing, backoff configuration and per-VM
+	// circuit breakers must all cost zero steady-state allocations (the
+	// budget is generous enough that a healthy in-process host never
+	// trips it).
+	cfg.CallBudgetUs = 250_000
+	cfg.RetryBackoffUs = 200
+	cfg.BreakerThreshold = 3
+	cfg.BreakerOpenSteps = 4
 	c, err := New(newBenchHost(vms, vcpus), cfg)
 	if err != nil {
 		tb.Fatal(err)

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vfreq/internal/platform"
+)
+
+// breakerConfig is the shared tuning of the breaker tests: trip after 3
+// consecutive faulty steps, quarantine for 2, close after 2 clean
+// probes. No retries, so every injected fault lands.
+func breakerConfig() Config {
+	cfg := DefaultConfig()
+	cfg.HostRetries = 0
+	cfg.BreakerThreshold = 3
+	cfg.BreakerOpenSteps = 2
+	cfg.RecoverySteps = 2
+	return cfg
+}
+
+// TestBreakerTripQuarantineReadmit walks one VM through the whole state
+// machine: closed → (3 faulty steps) → open → (2 quarantined steps with
+// no host reads at all) → half-open → (2 clean probes) → closed, while
+// a healthy neighbour VM keeps being monitored and controlled
+// throughout.
+func TestBreakerTripQuarantineReadmit(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 2, 1200)
+	inner.addVM("b", 1, 600)
+	fh := platform.WithFaults(inner, 11)
+	c := mustController(t, fh, breakerConfig())
+	warmUp(t, c, inner, 3, 300_000)
+
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{
+		Persistent: true,
+		Match:      func(vm string, vcpu int) bool { return vm == "a" },
+	})
+
+	// Steps 1–2 of the streak: degraded but not yet tripped.
+	for i := 0; i < 2; i++ {
+		warmUp(t, c, inner, 1, 300_000)
+		rep := c.LastReport()
+		if rep.BreakerTrips != 0 || rep.OpenVMs != 0 {
+			t.Fatalf("streak step %d tripped early: %s", i, rep.String())
+		}
+		if rep.DegradedVCPUs != 2 {
+			t.Fatalf("streak step %d: degraded = %d, want 2", i, rep.DegradedVCPUs)
+		}
+	}
+	if st := c.VM("a").Breaker; st.State != BreakerClosed || st.FaultStreak != 2 {
+		t.Fatalf("breaker before trip = %+v", st)
+	}
+
+	// Step 3 trips the breaker.
+	warmUp(t, c, inner, 1, 300_000)
+	rep := c.LastReport()
+	if rep.BreakerTrips != 1 || rep.OpenVMs != 1 {
+		t.Fatalf("trip step: %s", rep.String())
+	}
+	tripped := false
+	for _, f := range rep.Faults {
+		if f.Stage == "breaker" && f.Op == "open" && f.VM == "a" {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatalf("no breaker/open fault recorded: %v", rep.Faults)
+	}
+	if st := c.VM("a").Breaker; st.State != BreakerOpen || st.OpenLeft != 2 {
+		t.Fatalf("breaker after trip = %+v", st)
+	}
+
+	// Quarantine: the monitor must not touch VM a at all — per step,
+	// only b's single vCPU reaches the usage site (which would fail for
+	// a anyway, the plan is still armed).
+	for i := 0; i < 2; i++ {
+		before := fh.Calls(platform.SiteUsage)
+		warmUp(t, c, inner, 1, 300_000)
+		if got := fh.Calls(platform.SiteUsage) - before; got != 1 {
+			t.Fatalf("quarantine step %d: %d usage calls, want 1 (VM b only)", i, got)
+		}
+		rep := c.LastReport()
+		if rep.DegradedVCPUs != 2 || rep.HealthyVCPUs != 1 {
+			t.Fatalf("quarantine step %d: %s", i, rep.String())
+		}
+		if i == 0 && rep.OpenVMs != 1 {
+			t.Fatalf("quarantine step 0 not reported open: %s", rep.String())
+		}
+	}
+	// After the second quarantined step the breaker is probing.
+	if st := c.VM("a").Breaker; st.State != BreakerHalfOpen {
+		t.Fatalf("breaker after quarantine = %+v", st)
+	}
+	if rep := c.LastReport(); rep.HalfOpenVMs != 1 || rep.OpenVMs != 0 {
+		t.Fatalf("half-open not reported: %s", rep.String())
+	}
+
+	// The host recovers; two clean probes re-admit the VM.
+	fh.Clear(platform.SiteUsage)
+	warmUp(t, c, inner, 1, 300_000)
+	if st := c.VM("a").Breaker; st.State != BreakerHalfOpen || st.ProbeClean != 1 {
+		t.Fatalf("breaker after first probe = %+v", st)
+	}
+	warmUp(t, c, inner, 1, 300_000)
+	if st := c.VM("a").Breaker; st.State != BreakerClosed {
+		t.Fatalf("breaker after second probe = %+v", st)
+	}
+	rep = c.LastReport()
+	if rep.Recovered != 2 || rep.DegradedVCPUs != 0 {
+		t.Fatalf("re-admission step: %s", rep.String())
+	}
+	for _, v := range c.VM("a").VCPUs {
+		if v.Degraded || v.FailedSteps != 0 {
+			t.Fatalf("vCPU %d not clean after re-admission: %+v", v.Index, v)
+		}
+	}
+}
+
+// TestBreakerFaultyProbeReopens: one faulty step while half-open sends
+// the VM straight back into quarantine for a full window.
+func TestBreakerFaultyProbeReopens(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 1, 1200)
+	fh := platform.WithFaults(inner, 11)
+	c := mustController(t, fh, breakerConfig())
+	warmUp(t, c, inner, 3, 300_000)
+
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{Persistent: true})
+	// 3 steps to trip, 2 quarantined steps to reach half-open.
+	warmUp(t, c, inner, 5, 300_000)
+	if st := c.VM("a").Breaker; st.State != BreakerHalfOpen {
+		t.Fatalf("breaker = %+v, want half-open", st)
+	}
+	// The plan is still armed: the probe fails and re-opens immediately
+	// (no 3-step streak needed while probing).
+	warmUp(t, c, inner, 1, 300_000)
+	rep := c.LastReport()
+	if st := c.VM("a").Breaker; st.State != BreakerOpen || st.OpenLeft != 2 {
+		t.Fatalf("breaker after failed probe = %+v", st)
+	}
+	if rep.BreakerTrips != 1 || rep.OpenVMs != 1 {
+		t.Fatalf("failed probe not reported as a trip: %s", rep.String())
+	}
+}
+
+// TestBreakerConservationDuringQuarantine: quarantined caps are held,
+// so Σcaps stays within the machine capacity through trip, quarantine
+// and re-admission.
+func TestBreakerConservationDuringQuarantine(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 2, 1200)
+	inner.addVM("b", 1, 1800)
+	fh := platform.WithFaults(inner, 3)
+	c := mustController(t, fh, breakerConfig())
+	warmUp(t, c, inner, 3, 900_000)
+
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{
+		Persistent: true,
+		Match:      func(vm string, vcpu int) bool { return vm == "a" },
+	})
+	for step := 0; step < 10; step++ {
+		if step == 7 {
+			fh.Clear(platform.SiteUsage)
+		}
+		warmUp(t, c, inner, 1, 900_000)
+		var sum int64
+		for _, st := range c.VMs() {
+			for _, v := range st.VCPUs {
+				if v.CapUs < 0 || v.CapUs > c.Config().PeriodUs {
+					t.Fatalf("step %d: cap %d outside [0, period]", step, v.CapUs)
+				}
+				sum += v.CapUs
+			}
+		}
+		if sum > c.CapacityUs() {
+			t.Fatalf("step %d: Σcaps %d exceeds capacity %d", step, sum, c.CapacityUs())
+		}
+	}
+}
+
+// TestCallBudgetDegradesSlowVCPU: a usage read that injects more delay
+// than Config.CallBudgetUs fails that vCPU with ErrCallBudget — without
+// a retry (slow is not flaky) — while the fast vCPU stays healthy.
+func TestCallBudgetDegradesSlowVCPU(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 2, 1200)
+	fh := platform.WithFaults(inner, 5)
+	cfg := DefaultConfig()
+	cfg.CallBudgetUs = 200 // 0.2 ms budget
+	c := mustController(t, fh, cfg)
+	warmUp(t, c, inner, 2, 300_000)
+
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{
+		DelayRate: 1,
+		DelayUs:   20_000, // 10–20 ms injected stall, far over budget
+		Match:     func(vm string, vcpu int) bool { return vcpu == 1 },
+	})
+	inner.consume("a", 0, 300_000)
+	inner.consume("a", 1, 300_000)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.LastReport()
+	if rep.DegradedVCPUs != 1 || rep.HealthyVCPUs != 1 {
+		t.Fatalf("degraded/healthy = %d/%d: %s", rep.DegradedVCPUs, rep.HealthyVCPUs, rep.String())
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("a budget overrun was retried (%d retries)", rep.Retries)
+	}
+	found := false
+	for _, f := range rep.Faults {
+		if f.VM == "a" && f.VCPU == 1 && errors.Is(f.Err, ErrCallBudget) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ErrCallBudget fault for the slow vCPU: %v", rep.Faults)
+	}
+	if !c.VM("a").VCPUs[1].Degraded {
+		t.Fatal("slow vCPU not degraded")
+	}
+}
+
+// TestBackoffDelayBounds pins the backoff arithmetic: exponential
+// doubling from RetryBackoffUs, capped at RetryBackoffMaxUs, jittered
+// into [base/2, base], clamped to the remaining step budget, zero
+// outside a step, and deterministic per seed.
+func TestBackoffDelayBounds(t *testing.T) {
+	mk := func(seed int64) *Controller {
+		cfg := DefaultConfig()
+		cfg.RetryBackoffUs = 100
+		cfg.RetryBackoffMaxUs = 1_000
+		cfg.Seed = seed
+		h := newFakeHost()
+		return mustController(t, h, cfg)
+	}
+
+	c := mk(42)
+	// Outside a Step there is no budget window: no sleeping during
+	// construction or restore.
+	if d := c.backoffDelay(1); d != 0 {
+		t.Fatalf("backoff outside a step = %v, want 0", d)
+	}
+
+	c.stepT0 = time.Now()
+	c.stepBudget = time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		base := int64(100) << uint(attempt-1)
+		if base > 1_000 {
+			base = 1_000
+		}
+		d := c.backoffDelay(attempt)
+		lo := time.Duration(base/2) * time.Microsecond
+		hi := time.Duration(base) * time.Microsecond
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+
+	// The step budget clamps the sleep so backoff cannot blow the
+	// watchdog deadline.
+	c.stepBudget = 50 * time.Microsecond
+	c.stepT0 = time.Now()
+	if d := c.backoffDelay(5); d > 50*time.Microsecond {
+		t.Fatalf("delay %v exceeds the 50us step budget", d)
+	}
+
+	// Same seed, same jitter sequence.
+	a, b := mk(7), mk(7)
+	a.stepT0, b.stepT0 = time.Now(), time.Now()
+	a.stepBudget, b.stepBudget = time.Second, time.Second
+	for i := 1; i <= 20; i++ {
+		da, db := a.backoffDelay(1+i%4), b.backoffDelay(1+i%4)
+		if da != db {
+			t.Fatalf("draw %d: %v vs %v with the same seed", i, da, db)
+		}
+	}
+	// Different seed, different sequence (somewhere in 20 draws).
+	dif := mk(8)
+	dif.stepT0, dif.stepBudget = time.Now(), time.Second
+	same := true
+	x, y := mk(7), mk(8)
+	x.stepT0, x.stepBudget = time.Now(), time.Second
+	y.stepT0, y.stepBudget = time.Now(), time.Second
+	for i := 0; i < 20; i++ {
+		if x.backoffDelay(3) != y.backoffDelay(3) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 drew identical jitter for 20 draws")
+	}
+}
+
+// TestBackoffDisabledByDefault: the default configuration retries
+// immediately, so fault-heavy steps keep their pre-backoff latency.
+func TestBackoffDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.RetryBackoffUs != 0 || cfg.CallBudgetUs != 0 || cfg.BreakerThreshold != 0 {
+		t.Fatalf("robustness knobs armed by default: %+v", cfg)
+	}
+	h := newFakeHost()
+	c := mustController(t, h, cfg)
+	c.stepT0 = time.Now()
+	c.stepBudget = time.Second
+	if d := c.backoffDelay(3); d != 0 {
+		t.Fatalf("disabled backoff returned %v", d)
+	}
+}
+
+// TestBreakerSnapshotRoundTrip: the breaker state survives JSON encode →
+// decode bit-exactly, and a restored controller resumes the quarantine
+// mid-window: the VM is re-admitted on exactly the same step schedule
+// the dead incarnation would have used.
+func TestBreakerSnapshotRoundTrip(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 1, 1200)
+	inner.addVM("b", 1, 600)
+	fh := platform.WithFaults(inner, 11)
+	cfg := breakerConfig()
+	c := mustController(t, fh, cfg)
+	warmUp(t, c, inner, 3, 300_000)
+
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{
+		Persistent: true,
+		Match:      func(vm string, vcpu int) bool { return vm == "a" },
+	})
+	// Trip (3 steps) plus one quarantined step: OpenLeft is 1 of 2.
+	warmUp(t, c, inner, 4, 300_000)
+	if st := c.VM("a").Breaker; st.State != BreakerOpen || st.OpenLeft != 1 {
+		t.Fatalf("breaker mid-quarantine = %+v", st)
+	}
+
+	snap := c.Snapshot()
+	raw, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := decoded.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatal("snapshot with breaker state does not round-trip bit-identically")
+	}
+
+	// Kill and restore. The fault plan is still armed, but the restored
+	// controller must not read the quarantined VM anyway.
+	c2 := mustController(t, fh, cfg)
+	if _, err := c2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.VM("a").Breaker; st.State != BreakerOpen || st.OpenLeft != 1 {
+		t.Fatalf("restored breaker = %+v, want open with 1 step left", st)
+	}
+	// One more step drains the quarantine window; then the host
+	// recovers and two probes re-admit — the same schedule the dead
+	// controller was on.
+	warmUp(t, c2, inner, 1, 300_000)
+	if st := c2.VM("a").Breaker; st.State != BreakerHalfOpen {
+		t.Fatalf("restored breaker after final quarantine step = %+v", st)
+	}
+	fh.Clear(platform.SiteUsage)
+	warmUp(t, c2, inner, 2, 300_000)
+	if st := c2.VM("a").Breaker; st.State != BreakerClosed {
+		t.Fatalf("restored breaker after probes = %+v", st)
+	}
+	if v := c2.VM("a").VCPUs[0]; v.Degraded || v.FailedSteps != 0 {
+		t.Fatalf("restored vCPU not re-admitted: %+v", v)
+	}
+}
+
+// TestRecoveryStreakSurvivesRestore (the checkpoint/restore ×
+// degradation satellite): a vCPU partway through its RecoverySteps
+// clean streak keeps the streak across a kill-and-restore while a fault
+// plan is still active elsewhere — restore must not reset CleanSteps,
+// or recovery latency would silently double on every crash.
+func TestRecoveryStreakSurvivesRestore(t *testing.T) {
+	inner := newFakeHost()
+	inner.addVM("a", 1, 1200)
+	inner.addVM("b", 1, 600)
+	fh := platform.WithFaults(inner, 11)
+	cfg := DefaultConfig()
+	cfg.HostRetries = 0
+	cfg.RecoverySteps = 3
+	c := mustController(t, fh, cfg)
+	warmUp(t, c, inner, 3, 300_000)
+
+	// Degrade a/0 for two steps, then let it run clean — but keep a
+	// fault plan active against b/0 the whole time, including across
+	// the restore boundary.
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{
+		Count: 2,
+		Match: func(vm string, vcpu int) bool { return vm == "a" },
+	})
+	fh.MustPlan(platform.SiteSetMax, platform.FaultPlan{
+		Persistent: true,
+		Match:      func(vm string, vcpu int) bool { return vm == "b" },
+	})
+	warmUp(t, c, inner, 2, 300_000) // a degraded twice
+	warmUp(t, c, inner, 1, 300_000) // first clean step for a
+	v := c.VM("a").VCPUs[0]
+	if v.Degraded || v.FailedSteps != 2 || v.CleanSteps != 1 {
+		t.Fatalf("pre-checkpoint streak = %+v, want FailedSteps 2, CleanSteps 1", v)
+	}
+
+	snap, err := c.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustController(t, fh, cfg)
+	if _, err := c2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	v2 := c2.VM("a").VCPUs[0]
+	if v2.FailedSteps != 2 || v2.CleanSteps != 1 {
+		t.Fatalf("restore reset the streak: FailedSteps %d, CleanSteps %d, want 2, 1",
+			v2.FailedSteps, v2.CleanSteps)
+	}
+
+	// Exactly 2 more clean steps (not 3) complete the streak: recovery
+	// latency is preserved across the crash.
+	warmUp(t, c2, inner, 1, 300_000)
+	if rep := c2.LastReport(); rep.Recovered != 0 {
+		t.Fatalf("recovered one step early: %s", rep.String())
+	}
+	warmUp(t, c2, inner, 1, 300_000)
+	rep := c2.LastReport()
+	if rep.Recovered != 1 {
+		t.Fatalf("streak not completed on schedule: %s", rep.String())
+	}
+	if v2 := c2.VM("a").VCPUs[0]; v2.FailedSteps != 0 || v2.CleanSteps != 0 {
+		t.Fatalf("post-recovery counters = %+v", v2)
+	}
+	// The b-side plan fired across the boundary: the fault environment
+	// really was live the whole time.
+	if fh.Injected(platform.SiteSetMax) == 0 {
+		t.Fatal("the standing fault plan never fired; the test lost its premise")
+	}
+}

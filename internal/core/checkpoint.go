@@ -125,7 +125,18 @@ func (c *Controller) Restore(s Snapshot) (RestoreReport, error) {
 			deferred[vs.Name] = true
 			continue
 		}
-		st := &VMState{Info: info, GuaranteeUs: c.guarantee(info.FreqMHz), CreditUs: vs.CreditUs}
+		st := &VMState{Info: info, GuaranteeUs: c.guarantee(info.FreqMHz), CreditUs: vs.CreditUs,
+			// The breaker resumes mid-window: a quarantined VM stays
+			// quarantined for its remaining OpenLeft steps, and a
+			// half-open probe keeps its clean-probe streak, so the
+			// restored twin re-admits the VM on the same step the dead
+			// incarnation would have.
+			Breaker: BreakerState{
+				State:       BreakerPhase(vs.Breaker),
+				FaultStreak: vs.BreakerFaultStreak,
+				OpenLeft:    vs.BreakerOpenLeft,
+				ProbeClean:  vs.BreakerProbeClean,
+			}}
 		if c.cfg.CreditCapPeriods > 0 {
 			capC := c.cfg.CreditCapPeriods * st.GuaranteeUs * int64(info.VCPUs)
 			if st.CreditUs > capC {
@@ -133,12 +144,24 @@ func (c *Controller) Restore(s Snapshot) (RestoreReport, error) {
 			}
 		}
 		ok = true
+		// A VM checkpointed mid-quarantine is adopted without touching
+		// the host at all: its breaker is open, so the dead incarnation
+		// was not reading it either — and its reads are likely still
+		// failing, which must not defer the adoption. The stale usage
+		// baseline is safe: the first probe read after the quarantine
+		// computes a multi-period delta and clamps it, exactly as the
+		// dead incarnation would have.
+		quarantined := vs.Breaker == int(BreakerOpen)
 		for j := 0; j < info.VCPUs; j++ {
 			var v *VCPUState
 			var adopted bool
 			var err error
 			if j < len(vs.VCPUs) {
-				v, adopted, err = c.restoreVCPU(rep, vs.Name, vs.VCPUs[j])
+				if quarantined {
+					v = c.snapshotVCPU(vs.Name, vs.VCPUs[j])
+				} else {
+					v, adopted, err = c.restoreVCPU(rep, vs.Name, vs.VCPUs[j])
+				}
 			} else {
 				// The VM grew while the controller was down.
 				v, err = c.newVCPUState(rep, st, vs.Name, j)
@@ -230,11 +253,20 @@ func (c *Controller) restoreVCPU(rep *StepReport, name string, vs VCPUSnapshot) 
 	if err != nil {
 		return nil, false, err
 	}
+	v := c.snapshotVCPU(name, vs)
+	v.PrevUsageUs = usage
+	return v, c.adoptQuota(v), nil
+}
+
+// snapshotVCPU rebuilds one vCPU purely from its checkpoint entry, with
+// no host interaction — the adoption path for quarantined VMs, and the
+// common core of restoreVCPU.
+func (c *Controller) snapshotVCPU(name string, vs VCPUSnapshot) *VCPUState {
 	v := &VCPUState{
 		VM:          name,
 		Index:       vs.Index,
 		Hist:        NewHistory(c.cfg.HistoryLen),
-		PrevUsageUs: usage,
+		PrevUsageUs: vs.PrevUsageUs,
 		LastU:       c.clampCycles(vs.ConsumedUs),
 		CapUs:       c.clampCycles(vs.CapUs),
 		EstUs:       c.clampCycles(vs.EstimateUs),
@@ -249,7 +281,7 @@ func (c *Controller) restoreVCPU(rep *StepReport, name string, vs VCPUSnapshot) 
 	for _, u := range vs.Hist {
 		v.Hist.Push(c.clampCycles(u))
 	}
-	return v, c.adoptQuota(v), nil
+	return v
 }
 
 // clampCycles bounds a per-period cycle count to [0, PeriodUs] — a vCPU

@@ -115,6 +115,45 @@ type Config struct {
 	// buyers differently than the serial pass, so per-vCPU caps can
 	// differ at N > 1 while the aggregates match.
 	AuctionShards int
+	// CallBudgetUs is the per-host-call deadline in microseconds: a
+	// host read or write that succeeds but takes longer than this is
+	// treated as failed (the affected vCPU degrades, holding its
+	// last-known-good cap) and is never retried — retrying a slow call
+	// is how a stalling cgroupfs drags a whole Step past the watchdog.
+	// 0 disables the budget.
+	CallBudgetUs int64
+	// RetryBackoffUs, when positive, sleeps before every in-step retry
+	// (Config.HostRetries): the k-th retry waits an exponentially grown
+	// base of RetryBackoffUs × 2^(k−1) microseconds, jittered uniformly
+	// into [base/2, base] (seeded from Config.Seed, so fault runs are
+	// reproducible), and clamped to the remaining step deadline budget
+	// so backoff can never push a Step past its watchdog. 0 retries
+	// immediately (the pre-backoff behaviour).
+	RetryBackoffUs int64
+	// RetryBackoffMaxUs caps the exponential backoff base. 0 defaults
+	// to RetryBackoffUs × 64 (six doublings).
+	RetryBackoffMaxUs int64
+	// BreakerThreshold, when positive, arms a per-VM circuit breaker: a
+	// VM with any degraded vCPU in BreakerThreshold consecutive Steps
+	// trips its breaker open. An open breaker quarantines the VM — all
+	// its vCPUs are treated as degraded (caps held, skipped by the
+	// monitor and apply stages, no credit accrual) for
+	// BreakerOpenSteps, after which the breaker goes half-open and the
+	// VM is probed normally; Config.RecoverySteps consecutive clean
+	// probe Steps close the breaker, one faulty probe re-opens it.
+	// Quarantine is what stops a flapping VM (a vCPU thread dying and
+	// respawning, a cgroup being rebuilt in a loop) from burning the
+	// whole step budget on doomed reads and retries. 0 disables the
+	// breaker entirely.
+	BreakerThreshold int
+	// BreakerOpenSteps is how many Steps a tripped breaker holds the VM
+	// quarantined before probing. Values below 1 behave like 1.
+	BreakerOpenSteps int
+	// Seed drives the controller's internal jitter randomness (the
+	// retry backoff). It does not influence any allocation decision:
+	// two controllers with different seeds compute identical caps,
+	// credits and reports — only retry timing differs.
+	Seed int64
 	// EstimateShards partitions stages 2–3 (estimation and base
 	// enforcement) over the same NUMA placement partition the stage-4
 	// auction uses: the per-vCPU passes run concurrently on the shard
@@ -211,6 +250,25 @@ func (c Config) Validate() error {
 	}
 	if c.EstimateShards < 0 || c.EstimateShards > 4096 {
 		return fmt.Errorf("core: estimate shards %d outside [0, 4096]", c.EstimateShards)
+	}
+	if c.CallBudgetUs < 0 {
+		return fmt.Errorf("core: call budget must be non-negative")
+	}
+	if c.RetryBackoffUs < 0 {
+		return fmt.Errorf("core: retry backoff must be non-negative")
+	}
+	if c.RetryBackoffMaxUs < 0 {
+		return fmt.Errorf("core: retry backoff cap must be non-negative")
+	}
+	if c.RetryBackoffMaxUs > 0 && c.RetryBackoffUs > c.RetryBackoffMaxUs {
+		return fmt.Errorf("core: retry backoff base %d above its cap %d",
+			c.RetryBackoffUs, c.RetryBackoffMaxUs)
+	}
+	if c.BreakerThreshold < 0 {
+		return fmt.Errorf("core: breaker threshold must be non-negative")
+	}
+	if c.BreakerOpenSteps < 0 {
+		return fmt.Errorf("core: breaker open steps must be non-negative")
 	}
 	return nil
 }

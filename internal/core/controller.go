@@ -94,6 +94,9 @@ type VMState struct {
 	CreditUs int64
 	// VCPUs holds the per-vCPU states.
 	VCPUs []*VCPUState
+	// Breaker is the VM's circuit breaker (inert unless
+	// Config.BreakerThreshold is positive).
+	Breaker BreakerState
 }
 
 // Controller runs the six-stage control loop against a platform host.
@@ -123,6 +126,16 @@ type Controller struct {
 	// batch is the host's optional BatchQuotaWriter capability, detected
 	// once at New; nil when the host writes quotas one vCPU at a time.
 	batch platform.BatchQuotaWriter
+
+	// stepT0 and stepBudget frame the running Step's deadline window:
+	// set at the top of runStages, they bound every retry-backoff sleep
+	// so backoff can never push the Step past its watchdog. Outside a
+	// Step (construction, restore) the window is closed and backoff
+	// does not sleep. backoffSeq numbers the jitter draws; an atomic so
+	// concurrent monitor workers never contend or race on it.
+	stepT0     time.Time
+	stepBudget time.Duration
+	backoffSeq atomic.Uint64
 
 	// partitionShards is the shard count of the stage 2–3 placement
 	// partition currently held in c.shards (0 = no valid partition).
@@ -221,23 +234,33 @@ func (c *Controller) guarantee(freqMHz int64) int64 {
 func (c *Controller) retryUsage(rep *StepReport, vm string, j int) (int64, error) {
 	var usage int64
 	err := c.withRetry(rep, func() error {
+		t := c.callStart()
 		var e error
 		usage, e = c.host.UsageUs(vm, j)
-		return e
+		return c.budgeted(t, e)
 	})
 	return usage, err
 }
 
-// withRetry runs op, retrying up to Config.HostRetries extra times. A
-// success after at least one failure is counted in the report.
+// withRetry runs op, retrying up to Config.HostRetries extra times with
+// jittered exponential backoff between attempts (Config.RetryBackoffUs,
+// bounded by the remaining step deadline). A success after at least one
+// failure is counted in the report. A call that blew its
+// Config.CallBudgetUs is never retried — the site is slow, not flaky.
 func (c *Controller) withRetry(rep *StepReport, op func() error) error {
 	var err error
 	for attempt := 0; attempt <= c.cfg.HostRetries; attempt++ {
+		if attempt > 0 {
+			c.backoffSleep(attempt)
+		}
 		if err = op(); err == nil {
 			if attempt > 0 {
 				rep.Retries++
 			}
 			return nil
+		}
+		if err == ErrCallBudget {
+			return err
 		}
 	}
 	return err
@@ -432,6 +455,16 @@ func (c *Controller) Step() error {
 
 	rep.VMs = len(c.vms)
 	for _, st := range c.vms {
+		// The breaker advances first: a trip quarantines the VM by
+		// marking every vCPU degraded, and the health accounting below
+		// must count the step the way the quarantine leaves it.
+		c.updateBreaker(&rep, st)
+		switch st.Breaker.State {
+		case BreakerOpen:
+			rep.OpenVMs++
+		case BreakerHalfOpen:
+			rep.HalfOpenVMs++
+		}
 		for _, v := range st.VCPUs {
 			rep.VCPUs++
 			if v.Degraded {
@@ -485,6 +518,13 @@ func (c *Controller) runStages(rep *StepReport, t0 time.Time) (err error) {
 	var deadline time.Duration
 	if c.cfg.StepDeadlineFrac > 0 {
 		deadline = time.Duration(float64(c.cfg.PeriodUs)*c.cfg.StepDeadlineFrac) * time.Microsecond
+	}
+	// Open the backoff window: retry sleeps may spend at most the
+	// deadline budget (the whole period when no deadline is set).
+	c.stepT0 = t0
+	c.stepBudget = deadline
+	if c.stepBudget <= 0 {
+		c.stepBudget = time.Duration(c.cfg.PeriodUs) * time.Microsecond
 	}
 	checkStage := func(name string) {
 		if deadline > 0 && !rep.Overrun && time.Since(t0) > deadline {
@@ -594,7 +634,14 @@ type monitorSlot struct {
 func (c *Controller) monitor(rep *StepReport) {
 	slots := c.monSlots[:0]
 	for _, name := range c.order {
-		for _, v := range c.vms[name].VCPUs {
+		st := c.vms[name]
+		if st.Breaker.State == BreakerOpen {
+			// Quarantined: no reads at all. The vCPUs stay degraded
+			// (caps held, quotas untouched) until the breaker half-opens
+			// and a probe step reads them again.
+			continue
+		}
+		for _, v := range st.VCPUs {
 			slots = append(slots, monitorSlot{v: v})
 		}
 	}
@@ -669,16 +716,24 @@ func (c *Controller) readParallel(slots []monitorSlot, workers int) {
 
 // readVCPU performs one vCPU's four host reads, with bounded in-step
 // retry, into its slot. This is the only part of the monitor stage that
-// may run concurrently; it touches nothing but the slot and the
-// (read-only) host.
+// may run concurrently; it touches nothing but the slot, the atomic
+// backoff sequence and the (read-only) host. Each read is timed against
+// Config.CallBudgetUs (a slow success fails the vCPU instead of
+// stalling the step) and each retry waits the jittered backoff. The
+// explicit loops instead of withRetry keep the hot path closure-free
+// and therefore allocation-free.
 func (c *Controller) readVCPU(s *monitorSlot) {
 	v := s.v
 	tries := c.cfg.HostRetries + 1
 
 	ok := false
 	for a := 0; a < tries; a++ {
+		if a > 0 {
+			c.backoffSleep(a)
+		}
+		t := c.callStart()
 		u, err := c.host.UsageUs(v.VM, v.Index)
-		if err == nil {
+		if err = c.budgeted(t, err); err == nil {
 			s.usage = u
 			if a > 0 {
 				s.retries++
@@ -687,6 +742,9 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 			break
 		}
 		s.err = err
+		if err == ErrCallBudget {
+			break
+		}
 	}
 	if !ok {
 		s.op = "usage"
@@ -695,8 +753,12 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 
 	ok = false
 	for a := 0; a < tries; a++ {
+		if a > 0 {
+			c.backoffSleep(a)
+		}
+		t := c.callStart()
 		tid, err := c.host.ThreadID(v.VM, v.Index)
-		if err == nil {
+		if err = c.budgeted(t, err); err == nil {
 			s.tid = tid
 			if a > 0 {
 				s.retries++
@@ -705,6 +767,9 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 			break
 		}
 		s.err = err
+		if err == ErrCallBudget {
+			break
+		}
 	}
 	if !ok {
 		s.op = "tid"
@@ -713,8 +778,12 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 
 	ok = false
 	for a := 0; a < tries; a++ {
+		if a > 0 {
+			c.backoffSleep(a)
+		}
+		t := c.callStart()
 		core, err := c.host.LastCPU(s.tid)
-		if err == nil {
+		if err = c.budgeted(t, err); err == nil {
 			s.core = core
 			if a > 0 {
 				s.retries++
@@ -723,6 +792,9 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 			break
 		}
 		s.err = err
+		if err == ErrCallBudget {
+			break
+		}
 	}
 	if !ok {
 		s.op = "lastcpu"
@@ -731,8 +803,12 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 
 	ok = false
 	for a := 0; a < tries; a++ {
+		if a > 0 {
+			c.backoffSleep(a)
+		}
+		t := c.callStart()
 		freq, err := c.host.CoreFreqMHz(s.core)
-		if err == nil {
+		if err = c.budgeted(t, err); err == nil {
 			s.freq = freq
 			if a > 0 {
 				s.retries++
@@ -741,6 +817,9 @@ func (c *Controller) readVCPU(s *monitorSlot) {
 			break
 		}
 		s.err = err
+		if err == ErrCallBudget {
+			break
+		}
 	}
 	if !ok {
 		s.op = "freq"

@@ -32,7 +32,7 @@ func TestRetryMasksTransientFault(t *testing.T) {
 	fh := platform.WithFaults(inner, 7)
 	c := mustController(t, fh, DefaultConfig()) // HostRetries = 1
 	warmUp(t, c, inner, 2, 300_000)
-	fh.Plan(platform.SiteUsage, platform.FaultPlan{Count: 1})
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{Count: 1})
 	inner.consume("a", 0, 300_000)
 	if err := c.Step(); err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ func TestPersistentFaultHoldsLastGoodCap(t *testing.T) {
 	held := c.VM("a").VCPUs[1].CapUs
 	applied := inner.applied
 
-	fh.Plan(platform.SiteUsage, platform.FaultPlan{
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{
 		Persistent: true,
 		Match:      func(vm string, vcpu int) bool { return vm == "a" && vcpu == 1 },
 	})
@@ -116,8 +116,8 @@ func TestConservationUnderPartialFailure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HostRetries = 0 // let every injected fault land
 	c := mustController(t, fh, cfg)
-	fh.Plan(platform.SiteUsage, platform.FaultPlan{Rate: 0.3})
-	fh.Plan(platform.SiteSetMax, platform.FaultPlan{Rate: 0.3})
+	fh.MustPlan(platform.SiteUsage, platform.FaultPlan{Rate: 0.3})
+	fh.MustPlan(platform.SiteSetMax, platform.FaultPlan{Rate: 0.3})
 	rng := rand.New(rand.NewSource(5))
 	sawDegraded := false
 	for step := 0; step < 30; step++ {

@@ -33,11 +33,16 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json at all`))
-	f.Add([]byte(`{"version":2,"step":-1}`))
-	f.Add([]byte(`{"version":2,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
+	f.Add([]byte(`{"version":2,"step":1}`)) // pre-breaker version: rejected
+	f.Add([]byte(`{"version":3,"step":-1}`))
+	f.Add([]byte(`{"version":3,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
 		`"vms":[{"name":"a","freq_mhz":99999}]}`))
-	f.Add([]byte(`{"version":2,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
+	f.Add([]byte(`{"version":3,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
 		`"vms":[{"name":"a","freq_mhz":500,"vcpus":[{"index":7}]}]}`))
+	f.Add([]byte(`{"version":3,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
+		`"vms":[{"name":"a","freq_mhz":500,"breaker":1}]}`)) // open with no window left
+	f.Add([]byte(`{"version":3,"cores":4,"max_freq_mhz":2400,"period_us":1000000,` +
+		`"vms":[{"name":"a","freq_mhz":500,"breaker":7}]}`)) // unknown phase
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeSnapshot(data) // must not panic, whatever the input

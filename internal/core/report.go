@@ -16,10 +16,12 @@ type Fault struct {
 	VM string
 	// VCPU is the affected vCPU index, or -1 for a VM-level fault.
 	VCPU int
-	// Stage names the controller stage: "sync", "monitor" or "apply".
+	// Stage names the controller stage: "sync", "monitor", "apply" or
+	// "breaker".
 	Stage string
 	// Op names the host operation that failed: "template", "usage",
-	// "tid", "lastcpu", "freq", "setmax" or "setburst".
+	// "tid", "lastcpu", "freq", "setmax", "setburst" or "open" (a
+	// circuit breaker tripping).
 	Op string
 	// Err is the underlying host error.
 	Err error
@@ -61,6 +63,15 @@ type StepReport struct {
 	// Recovered counts vCPUs whose FailedSteps counter was reset this
 	// Step after Config.RecoverySteps consecutive clean Steps.
 	Recovered int
+	// OpenVMs counts VMs quarantined behind an open circuit breaker at
+	// the end of this Step (their vCPUs are all in DegradedVCPUs).
+	OpenVMs int
+	// HalfOpenVMs counts VMs in the probing half-open breaker state.
+	HalfOpenVMs int
+	// BreakerTrips counts breakers that opened (or re-opened from a
+	// failed half-open probe) during this Step; each trip is also
+	// recorded as a "breaker/open" fault.
+	BreakerTrips int
 	// Panicked reports that a stage panicked this Step. The watchdog
 	// converted the panic into a degraded step: every tracked vCPU was
 	// marked degraded (its state may be mid-stage inconsistent) and the
@@ -115,6 +126,9 @@ func (r StepReport) String() string {
 	s := fmt.Sprintf("step %d: %d VMs, %d/%d vCPUs healthy, %d degraded, %d faults (+%d added, -%d removed, ~%d reconfigured)",
 		r.Step, r.VMs, r.HealthyVCPUs, r.VCPUs, r.DegradedVCPUs, r.FaultCount(),
 		len(r.Added), len(r.Removed), len(r.Reconfigured))
+	if r.OpenVMs > 0 || r.HalfOpenVMs > 0 {
+		s += fmt.Sprintf(" [breakers: %d open, %d half-open]", r.OpenVMs, r.HalfOpenVMs)
+	}
 	if r.Panicked {
 		s += " [panicked]"
 	}

@@ -7,9 +7,11 @@ import (
 
 // SnapshotVersion is the checkpoint format version written by Snapshot
 // and required by DecodeSnapshot. Version 1 was the telemetry-only view
-// without history rings; version 2 carries the full round-trippable
-// controller state.
-const SnapshotVersion = 2
+// without history rings; version 2 carried the full round-trippable
+// controller state; version 3 adds the per-VM circuit breaker state so
+// a kill-and-restore twin quarantines and re-admits VMs on exactly the
+// same steps the dead incarnation would have.
+const SnapshotVersion = 3
 
 // Snapshot is a JSON-serialisable view of the controller state after a
 // Step. Since version 2 it is a complete checkpoint: Restore rebuilds a
@@ -40,6 +42,15 @@ type VMSnapshot struct {
 	GuaranteeUs int64          `json:"guarantee_us"`
 	CreditUs    int64          `json:"credit_us"`
 	VCPUs       []VCPUSnapshot `json:"vcpus"`
+
+	// The circuit breaker (since version 3): phase as an integer
+	// (0 closed, 1 open, 2 half-open) plus its three counters. All
+	// omitempty, so a VM with a closed idle breaker — the overwhelming
+	// steady state — costs no checkpoint bytes.
+	Breaker            int `json:"breaker,omitempty"`
+	BreakerFaultStreak int `json:"breaker_fault_streak,omitempty"`
+	BreakerOpenLeft    int `json:"breaker_open_left,omitempty"`
+	BreakerProbeClean  int `json:"breaker_probe_clean,omitempty"`
 }
 
 // VCPUSnapshot is one vCPU's controller state.
@@ -79,10 +90,14 @@ func (c *Controller) Snapshot() Snapshot {
 	for _, name := range c.order {
 		st := c.vms[name]
 		vs := VMSnapshot{
-			Name:        st.Info.Name,
-			FreqMHz:     st.Info.FreqMHz,
-			GuaranteeUs: st.GuaranteeUs,
-			CreditUs:    st.CreditUs,
+			Name:               st.Info.Name,
+			FreqMHz:            st.Info.FreqMHz,
+			GuaranteeUs:        st.GuaranteeUs,
+			CreditUs:           st.CreditUs,
+			Breaker:            int(st.Breaker.State),
+			BreakerFaultStreak: st.Breaker.FaultStreak,
+			BreakerOpenLeft:    st.Breaker.OpenLeft,
+			BreakerProbeClean:  st.Breaker.ProbeClean,
 		}
 		for _, v := range st.VCPUs {
 			// nil (not empty) when there are no samples, so that the
@@ -158,6 +173,18 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 		if vm.CreditUs < 0 {
 			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q credit %d is negative",
 				vm.Name, vm.CreditUs)
+		}
+		if vm.Breaker < int(BreakerClosed) || vm.Breaker > int(BreakerHalfOpen) {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q breaker phase %d unknown",
+				vm.Name, vm.Breaker)
+		}
+		if vm.BreakerFaultStreak < 0 || vm.BreakerOpenLeft < 0 || vm.BreakerProbeClean < 0 {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q has negative breaker counters",
+				vm.Name)
+		}
+		if vm.Breaker == int(BreakerOpen) && vm.BreakerOpenLeft < 1 {
+			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q breaker open with no quarantine steps left",
+				vm.Name)
 		}
 		for j, v := range vm.VCPUs {
 			if v.Index != j {

@@ -245,10 +245,18 @@ func (c *Controller) apply(rep *StepReport) {
 				// is part of the allocation-free steady-state path.
 				var err error
 				for a := 0; a <= c.cfg.HostRetries; a++ {
-					if err = c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err == nil {
+					if a > 0 {
+						c.backoffSleep(a)
+					}
+					t := c.callStart()
+					err = c.budgeted(t, c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs))
+					if err == nil {
 						if a > 0 {
 							rep.Retries++
 						}
+						break
+					}
+					if err == ErrCallBudget {
 						break
 					}
 				}
@@ -280,10 +288,18 @@ func (c *Controller) applyBurst(rep *StepReport, v *VCPUState, quota int64) {
 	}
 	var err error
 	for a := 0; a <= c.cfg.HostRetries; a++ {
-		if err = c.host.SetBurst(v.VM, v.Index, burst); err == nil {
+		if a > 0 {
+			c.backoffSleep(a)
+		}
+		t := c.callStart()
+		err = c.budgeted(t, c.host.SetBurst(v.VM, v.Index, burst))
+		if err == nil {
 			if a > 0 {
 				rep.Retries++
 			}
+			break
+		}
+		if err == ErrCallBudget {
 			break
 		}
 	}
@@ -324,8 +340,20 @@ func (c *Controller) applyBatched(rep *StepReport) {
 		c.batchBuf = buf
 		if len(buf) > 0 {
 			// The summary error is redundant with the per-entry Err
-			// fields resolved below.
+			// fields resolved below. The whole batch is timed as one
+			// call: when it blows the budget, every entry that would
+			// otherwise look fine is poisoned with ErrCallBudget so a
+			// slow batched path degrades its vCPUs like a slow serial
+			// one (and skips the pointless per-entry retries).
+			t := c.callStart()
 			_ = c.batch.BatchSetMax(name, buf)
+			if c.callOver(t) {
+				for i := range buf {
+					if buf[i].Err == nil {
+						buf[i].Err = ErrCallBudget
+					}
+				}
+			}
 		}
 		// The batch holds the dirty subset of st.VCPUs in index order, so
 		// one ordered cursor matches entries back to their vCPUs.
@@ -338,8 +366,10 @@ func (c *Controller) applyBatched(rep *StepReport) {
 			if bi < len(buf) && buf[bi].VCPU == v.Index {
 				err := buf[bi].Err
 				bi++
-				for a := 1; err != nil && a <= c.cfg.HostRetries; a++ {
-					if err = c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs); err == nil {
+				for a := 1; err != nil && err != ErrCallBudget && a <= c.cfg.HostRetries; a++ {
+					c.backoffSleep(a)
+					t := c.callStart()
+					if err = c.budgeted(t, c.host.SetMax(v.VM, v.Index, quota, c.cfg.CgroupPeriodUs)); err == nil {
 						rep.Retries++
 					}
 				}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the default error returned by injected faults.
@@ -40,12 +42,19 @@ func SiteByName(name string) (FaultSite, error) {
 			return s, nil
 		}
 	}
-	return "", fmt.Errorf("platform: unknown fault site %q", name)
+	valid := make([]string, len(Sites))
+	for i, s := range Sites {
+		valid[i] = string(s)
+	}
+	return "", fmt.Errorf("platform: unknown fault site %q (valid sites: %s)",
+		name, strings.Join(valid, ", "))
 }
 
-// FaultPlan describes when one call site fails. The zero value never
-// fires; combine the fields freely — a call fails when any armed
-// condition matches.
+// FaultPlan describes when one call site fails or stalls. Combine the
+// fields freely — a call fails when any armed error condition matches,
+// and is independently delayed when the latency condition matches. A
+// plan that can never fire (no error condition and no delay armed) is
+// rejected by Plan instead of being silently inert.
 type FaultPlan struct {
 	// Rate is the independent probability each call fails, in [0, 1].
 	Rate float64
@@ -57,16 +66,55 @@ type FaultPlan struct {
 	Persistent bool
 	// Err is the error injected; nil means ErrInjected.
 	Err error
+
+	// DelayRate is the independent probability each matching call is
+	// additionally delayed, in [0, 1]. Latency and errors are separate
+	// conditions: a plan may stall calls without failing them (a slow
+	// cgroupfs) or fail them slowly (a timing-out read).
+	DelayRate float64
+	// DelayUs bounds the injected delay: each fired delay is drawn
+	// uniformly from [DelayUs/2, DelayUs] microseconds, deterministic
+	// from the host seed. Required (positive) when DelayRate > 0.
+	DelayUs int64
+
 	// Match restricts VM-scoped sites (UsageUs, SetMax, ClearMax,
 	// SetBurst, ThreadID) to particular vCPUs; nil matches all calls.
 	// Sites without a VM operand ignore it.
 	Match func(vm string, vcpu int) bool
 }
 
+// Validate checks the plan's fields for consistency and for at least one
+// armed condition, so a plan that can never fire is an error instead of
+// a silent no-op.
+func (p FaultPlan) Validate() error {
+	if p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("platform: fault plan rate %g outside [0, 1]", p.Rate)
+	}
+	if p.Count < 0 {
+		return fmt.Errorf("platform: fault plan count %d is negative", p.Count)
+	}
+	if p.DelayRate < 0 || p.DelayRate > 1 {
+		return fmt.Errorf("platform: fault plan delay rate %g outside [0, 1]", p.DelayRate)
+	}
+	if p.DelayUs < 0 {
+		return fmt.Errorf("platform: fault plan delay %d us is negative", p.DelayUs)
+	}
+	if p.DelayRate > 0 && p.DelayUs <= 0 {
+		return fmt.Errorf("platform: fault plan delay rate %g needs a positive DelayUs bound", p.DelayRate)
+	}
+	if p.DelayRate == 0 && p.DelayUs > 0 {
+		return fmt.Errorf("platform: fault plan DelayUs %d needs a positive DelayRate", p.DelayUs)
+	}
+	if !p.Persistent && p.Count == 0 && p.Rate == 0 && p.DelayRate == 0 {
+		return fmt.Errorf("platform: fault plan can never fire (no rate, count, persistence or delay armed)")
+	}
+	return nil
+}
+
 // FaultyHost wraps a Host and injects faults per call site: the test
 // double for vCPU threads dying mid-read, cgroups vanishing between
-// enumeration and access, and noisy /proc reads. It is safe for
-// concurrent use.
+// enumeration and access, noisy /proc reads, and slow cgroupfs calls.
+// It is safe for concurrent use.
 type FaultyHost struct {
 	inner Host
 
@@ -74,18 +122,25 @@ type FaultyHost struct {
 	rng      *rand.Rand
 	plans    map[FaultSite]*FaultPlan
 	injected map[FaultSite]int
+	delayed  map[FaultSite]int
 	calls    map[FaultSite]int
+
+	// sleep stalls the calling goroutine for an injected delay;
+	// replaceable by tests that only want to observe the decision.
+	sleep func(time.Duration)
 }
 
-// WithFaults wraps h; seed drives the Rate randomness so fault sequences
-// are reproducible.
+// WithFaults wraps h; seed drives the Rate/DelayRate randomness and the
+// delay draws so fault and latency sequences are reproducible.
 func WithFaults(h Host, seed int64) *FaultyHost {
 	return &FaultyHost{
 		inner:    h,
 		rng:      rand.New(rand.NewSource(seed)),
 		plans:    map[FaultSite]*FaultPlan{},
 		injected: map[FaultSite]int{},
+		delayed:  map[FaultSite]int{},
 		calls:    map[FaultSite]int{},
+		sleep:    time.Sleep,
 	}
 }
 
@@ -93,10 +148,24 @@ func WithFaults(h Host, seed int64) *FaultyHost {
 func (f *FaultyHost) Inner() Host { return f.inner }
 
 // Plan arms a fault plan on one call site, replacing any previous plan.
-func (f *FaultyHost) Plan(site FaultSite, p FaultPlan) {
+// The plan is validated first: a plan that can never fire (or with
+// out-of-range fields) is rejected.
+func (f *FaultyHost) Plan(site FaultSite, p FaultPlan) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", site, err)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.plans[site] = &p
+	return nil
+}
+
+// MustPlan arms a plan and panics on a rejected one — the test-site
+// shorthand for plans built from literals.
+func (f *FaultyHost) MustPlan(site FaultSite, p FaultPlan) {
+	if err := f.Plan(site, p); err != nil {
+		panic(err)
+	}
 }
 
 // Clear disarms the plan on one call site.
@@ -120,6 +189,13 @@ func (f *FaultyHost) Injected(site FaultSite) int {
 	return f.injected[site]
 }
 
+// Delayed returns how many calls were artificially delayed at a site.
+func (f *FaultyHost) Delayed(site FaultSite) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delayed[site]
+}
+
 // Calls returns how many calls reached a site (injected or not).
 func (f *FaultyHost) Calls(site FaultSite) int {
 	f.mu.Lock()
@@ -127,17 +203,39 @@ func (f *FaultyHost) Calls(site FaultSite) int {
 	return f.calls[site]
 }
 
-// fail decides whether this call fails, returning the injected error.
+// fail decides whether this call is delayed and/or fails. The delay
+// decision happens under the lock (so the rng sequence stays
+// reproducible) but the sleep itself happens in the caller, outside the
+// lock, so concurrent callers stall independently instead of
+// serialising on the mutex.
 func (f *FaultyHost) fail(site FaultSite, vm string, vcpu int) error {
+	delay, err := f.decide(site, vm, vcpu)
+	if delay > 0 {
+		f.sleep(delay)
+	}
+	return err
+}
+
+// decide is the locked half of fail.
+func (f *FaultyHost) decide(site FaultSite, vm string, vcpu int) (time.Duration, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.calls[site]++
 	p := f.plans[site]
 	if p == nil {
-		return nil
+		return 0, nil
 	}
 	if p.Match != nil && !p.Match(vm, vcpu) {
-		return nil
+		return 0, nil
+	}
+	var delay time.Duration
+	if p.DelayRate > 0 && f.rng.Float64() < p.DelayRate {
+		// Uniform in [DelayUs/2, DelayUs]: bounded above by the plan,
+		// bounded below so a fired delay is never a no-op.
+		half := p.DelayUs / 2
+		us := half + f.rng.Int63n(p.DelayUs-half+1)
+		delay = time.Duration(us) * time.Microsecond
+		f.delayed[site]++
 	}
 	fire := p.Persistent
 	if !fire && p.Count > 0 {
@@ -148,13 +246,13 @@ func (f *FaultyHost) fail(site FaultSite, vm string, vcpu int) error {
 		fire = true
 	}
 	if !fire {
-		return nil
+		return delay, nil
 	}
 	f.injected[site]++
 	if p.Err != nil {
-		return fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, p.Err)
+		return delay, fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, p.Err)
 	}
-	return fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, ErrInjected)
+	return delay, fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, ErrInjected)
 }
 
 // Node implements Host (never injected: node info is static).

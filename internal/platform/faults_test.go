@@ -2,7 +2,9 @@ package platform
 
 import (
 	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"vfreq/internal/vm"
 )
@@ -16,12 +18,30 @@ func newFaultySim(t *testing.T) (*FaultyHost, *Sim) {
 	return WithFaults(s, 1), s
 }
 
-func TestFaultyHostZeroPlanNeverFires(t *testing.T) {
+// TestFaultyHostRejectsInertPlans pins Plan's validation: a plan that
+// can never fire — or with out-of-range fields — is an error up front,
+// not a silent no-op, and the rejected plan is not armed.
+func TestFaultyHostRejectsInertPlans(t *testing.T) {
 	fh, _ := newFaultySim(t)
-	fh.Plan(SiteUsage, FaultPlan{})
+	bad := []FaultPlan{
+		{},                             // nothing armed
+		{Rate: -0.1},                   // negative rate
+		{Rate: 1.5},                    // rate above 1
+		{Count: -3},                    // negative count
+		{DelayRate: -0.5, DelayUs: 10}, // negative delay rate
+		{DelayRate: 2, DelayUs: 10},    // delay rate above 1
+		{DelayRate: 0.5},               // delay armed without a bound
+		{DelayRate: 0.5, DelayUs: -1},  // negative delay bound
+		{DelayUs: 100},                 // bound without a rate
+	}
+	for i, p := range bad {
+		if err := fh.Plan(SiteUsage, p); err == nil {
+			t.Fatalf("plan %d (%+v) accepted, want rejection", i, p)
+		}
+	}
 	for i := 0; i < 20; i++ {
 		if _, err := fh.UsageUs("a", 0); err != nil {
-			t.Fatalf("zero plan fired: %v", err)
+			t.Fatalf("rejected plan fired: %v", err)
 		}
 	}
 	if fh.Injected(SiteUsage) != 0 || fh.Calls(SiteUsage) != 20 {
@@ -31,7 +51,7 @@ func TestFaultyHostZeroPlanNeverFires(t *testing.T) {
 
 func TestFaultyHostCountIsTransient(t *testing.T) {
 	fh, _ := newFaultySim(t)
-	fh.Plan(SiteUsage, FaultPlan{Count: 2})
+	fh.MustPlan(SiteUsage, FaultPlan{Count: 2})
 	for i := 0; i < 2; i++ {
 		if _, err := fh.UsageUs("a", 0); !errors.Is(err, ErrInjected) {
 			t.Fatalf("call %d: err = %v, want injected", i, err)
@@ -48,7 +68,7 @@ func TestFaultyHostCountIsTransient(t *testing.T) {
 func TestFaultyHostPersistentUntilCleared(t *testing.T) {
 	fh, _ := newFaultySim(t)
 	custom := errors.New("vcpu thread died")
-	fh.Plan(SiteSetMax, FaultPlan{Persistent: true, Err: custom})
+	fh.MustPlan(SiteSetMax, FaultPlan{Persistent: true, Err: custom})
 	for i := 0; i < 5; i++ {
 		if err := fh.SetMax("a", 0, 10_000, 100_000); !errors.Is(err, custom) {
 			t.Fatalf("err = %v, want custom persistent error", err)
@@ -62,7 +82,7 @@ func TestFaultyHostPersistentUntilCleared(t *testing.T) {
 
 func TestFaultyHostMatchScopesInjection(t *testing.T) {
 	fh, _ := newFaultySim(t)
-	fh.Plan(SiteUsage, FaultPlan{
+	fh.MustPlan(SiteUsage, FaultPlan{
 		Persistent: true,
 		Match:      func(vm string, vcpu int) bool { return vcpu == 1 },
 	})
@@ -81,7 +101,7 @@ func TestFaultyHostRateIsReproducible(t *testing.T) {
 			t.Fatal(err)
 		}
 		fh := WithFaults(s, seed)
-		fh.Plan(SiteUsage, FaultPlan{Rate: 0.5})
+		fh.MustPlan(SiteUsage, FaultPlan{Rate: 0.5})
 		out := make([]bool, 40)
 		for i := range out {
 			_, err := fh.UsageUs("a", 0)
@@ -143,8 +163,91 @@ func TestSiteByName(t *testing.T) {
 			t.Fatalf("SiteByName(%q) = %q, %v", s, got, err)
 		}
 	}
-	if _, err := SiteByName("bogus"); err == nil {
+	err := func() error { _, err := SiteByName("bogus"); return err }()
+	if err == nil {
 		t.Fatal("unknown site accepted")
+	}
+	// The error must name every valid site so a typo in a scenario file
+	// is self-diagnosing.
+	for _, s := range Sites {
+		if !strings.Contains(err.Error(), string(s)) {
+			t.Fatalf("error %q does not list site %q", err, s)
+		}
+	}
+}
+
+// TestFaultyHostLatencyInjection covers the delay path: a delay-only
+// plan stalls calls without failing them, the injected durations stay
+// inside [DelayUs/2, DelayUs], and the sleep happens on the calling
+// goroutine (observed via the replaceable sleep hook — the decision is
+// what matters, not wall time).
+func TestFaultyHostLatencyInjection(t *testing.T) {
+	fh, _ := newFaultySim(t)
+	var slept []time.Duration
+	fh.sleep = func(d time.Duration) { slept = append(slept, d) }
+	fh.MustPlan(SiteUsage, FaultPlan{DelayRate: 1, DelayUs: 400})
+	for i := 0; i < 10; i++ {
+		if _, err := fh.UsageUs("a", 0); err != nil {
+			t.Fatalf("delay-only plan failed the call: %v", err)
+		}
+	}
+	if fh.Delayed(SiteUsage) != 10 || fh.Injected(SiteUsage) != 0 {
+		t.Fatalf("delayed/injected = %d/%d, want 10/0",
+			fh.Delayed(SiteUsage), fh.Injected(SiteUsage))
+	}
+	if len(slept) != 10 {
+		t.Fatalf("slept %d times, want 10", len(slept))
+	}
+	for i, d := range slept {
+		if d < 200*time.Microsecond || d > 400*time.Microsecond {
+			t.Fatalf("delay %d = %v outside [200us, 400us]", i, d)
+		}
+	}
+}
+
+// TestFaultyHostLatencyIsReproducible: the same seed draws the same
+// delay sequence, and delays combine independently with error firing.
+func TestFaultyHostLatencyIsReproducible(t *testing.T) {
+	run := func() ([]time.Duration, []bool) {
+		s, mgr := newSim(t)
+		if _, err := mgr.Provision("a", vm.Small(), nil); err != nil {
+			t.Fatal(err)
+		}
+		fh := WithFaults(s, 7)
+		var slept []time.Duration
+		fh.sleep = func(d time.Duration) { slept = append(slept, d) }
+		fh.MustPlan(SiteUsage, FaultPlan{Rate: 0.3, DelayRate: 0.5, DelayUs: 1000})
+		failed := make([]bool, 60)
+		for i := range failed {
+			_, err := fh.UsageUs("a", 0)
+			failed[i] = err != nil
+		}
+		return slept, failed
+	}
+	d1, f1 := run()
+	d2, f2 := run()
+	if len(d1) != len(d2) {
+		t.Fatalf("same seed drew %d vs %d delays", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("delay %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("failure sequence diverged at call %d", i)
+		}
+	}
+	if len(d1) == 0 {
+		t.Fatal("delay rate 0.5 never fired in 60 calls")
+	}
+	anyFail := false
+	for _, f := range f1 {
+		anyFail = anyFail || f
+	}
+	if !anyFail {
+		t.Fatal("rate 0.3 never fired in 60 calls")
 	}
 }
 
@@ -154,7 +257,7 @@ func TestSiteByName(t *testing.T) {
 // batched writes. Entries that survive injection land on the inner host.
 func TestFaultyHostBatchSetMax(t *testing.T) {
 	fh, s := newFaultySim(t)
-	fh.Plan(SiteBatchSetMax, FaultPlan{
+	fh.MustPlan(SiteBatchSetMax, FaultPlan{
 		Persistent: true,
 		Match:      func(vm string, vcpu int) bool { return vcpu == 1 },
 	})
@@ -179,7 +282,7 @@ func TestFaultyHostBatchSetMax(t *testing.T) {
 	// A SetMax plan must keep firing for batched writes: a batch is
 	// semantically N quota writes.
 	fh.ClearAll()
-	fh.Plan(SiteSetMax, FaultPlan{Persistent: true})
+	fh.MustPlan(SiteSetMax, FaultPlan{Persistent: true})
 	setMaxCalls := fh.Calls(SiteSetMax)
 	quotas[0].Err, quotas[1].Err = nil, nil
 	if err := fh.BatchSetMax("a", quotas); err == nil {
