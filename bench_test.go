@@ -332,9 +332,9 @@ func BenchmarkPlacement(b *testing.B) {
 // savings over time. Run both sequentially and with parallel node
 // stepping; the reported metrics are identical, only wall-clock moves.
 func BenchmarkDynamicCluster(b *testing.B) {
-	for _, parallel := range []bool{false, true} {
+	for _, workers := range []int{1, 0} {
 		name := "sequential"
-		if parallel {
+		if workers == 0 {
 			name = "parallel"
 		}
 		b.Run(name, func(b *testing.B) {
@@ -350,7 +350,7 @@ func BenchmarkDynamicCluster(b *testing.B) {
 				MeanLifetimeSteps: 10,
 				Steps:             40,
 				Seed:              42,
-				Parallel:          parallel,
+				StepWorkers:       workers,
 			}
 			var eq7Nodes, classicNodes, eq7kJ, classickJ float64
 			for i := 0; i < b.N; i++ {

@@ -36,6 +36,7 @@ var (
 	monitorWorkers  int
 	auctionShards   int
 	estimateShards  int
+	stepWorkers     int
 	parallelCluster bool
 )
 
@@ -58,8 +59,10 @@ func main() {
 		"auction shard count (0 = one per NUMA node, 1 = serial; -1 keeps the default)")
 	flag.IntVar(&estimateShards, "estimate-shards", -1,
 		"estimate/enforce shard count (0 = follow auction shards, 1 = serial; -1 keeps the default)")
+	flag.IntVar(&stepWorkers, "step-workers", -1,
+		"cluster step worker-pool size for the dynamic experiment (0 = GOMAXPROCS, 1 = serial; -1 keeps the serial default)")
 	flag.BoolVar(&parallelCluster, "parallel", false,
-		"step the dynamic experiment's cluster nodes concurrently")
+		"deprecated: equivalent to -step-workers 0")
 	flag.IntVar(&chaosSteps, "chaos-steps", 5000, "fault-phase length of the chaos soak")
 	flag.Int64Var(&chaosSeed, "chaos-seed", 1, "seed of the chaos soak (plans, workloads, churn)")
 	flag.IntVar(&chaosVMs, "chaos-vms", 4, "VM population of the chaos soak")
@@ -347,6 +350,13 @@ func placementTable() error {
 // workload admitted under the classic and the Eq. 7 constraints, with
 // idle nodes powered off.
 func dynamicTable() error {
+	workers := 1
+	if parallelCluster {
+		workers = 0
+	}
+	if stepWorkers >= 0 {
+		workers = stepWorkers
+	}
 	base := experiments.DynamicClusterExperiment{
 		Nodes:             experimentsDynamicNodes(),
 		ArrivalsPerStep:   1.2,
@@ -354,7 +364,7 @@ func dynamicTable() error {
 		Steps:             60,
 		Seed:              42,
 		FailThreshold:     3,
-		Parallel:          parallelCluster,
+		StepWorkers:       workers,
 	}
 	fmt.Println("Dynamic cluster (Poisson arrivals, exponential lifetimes, idle nodes off):")
 	fmt.Printf("  %-28s %-9s %-9s %-10s %-12s %-12s\n",
@@ -375,6 +385,8 @@ func dynamicTable() error {
 		fmt.Printf("  %-28s %-9d %-9d %-10.2f %-12.1f %-12.1f\n",
 			c.label, res.Deployed, res.Rejected, res.MeanUsedNodes,
 			res.ActiveEnergyJ/1000, res.AlwaysOnEnergyJ/1000)
+		fmt.Printf("    cluster step: mean %.0f µs, max %d µs (workers %s)\n",
+			res.MeanStepUs, res.MaxStepUs, describeWorkers(workers))
 		if res.Faults > 0 || res.DegradedVCPUSteps > 0 {
 			fmt.Printf("    degradation: %d faults, %d degraded vCPU-steps\n",
 				res.Faults, res.DegradedVCPUSteps)
@@ -385,6 +397,14 @@ func dynamicTable() error {
 		}
 	}
 	return nil
+}
+
+// describeWorkers renders a StepWorkers value for humans.
+func describeWorkers(workers int) string {
+	if workers == 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", workers)
 }
 
 // experimentsDynamicNodes is a 6-node rack of 8-core machines.

@@ -8,6 +8,13 @@
 //	vfctl -config scenario.json [-csv out.csv]
 //	vfctl -example            # print a scenario skeleton and exit
 //
+// Cluster mode: a scenario with "nodes": N (N ≥ 2) boots N identical
+// simulated machines, admits the VMs across them under the Eq. 7
+// constraint and steps the whole cluster every period on a persistent
+// worker pool ("step_workers" or -step-workers; 0 = GOMAXPROCS). The
+// CSV then carries cluster-level columns, including cluster_step_us —
+// the wall time of each cluster step.
+//
 // Crash recovery: with -checkpoint the controller persists its state
 // (credits, caps, consumption histories) atomically every
 // -checkpoint-every periods, plus once at clean exit; -resume restores
@@ -35,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"vfreq/internal/cluster"
 	"vfreq/internal/core"
 	"vfreq/internal/host"
 	"vfreq/internal/platform"
@@ -54,6 +62,16 @@ type Scenario struct {
 
 	DurationS int  `json:"duration_s"`
 	Control   bool `json:"control"`
+
+	// Cluster mode: Nodes ≥ 2 boots that many identical nodes (each with
+	// the spec above), admits the scenario VMs across them under the
+	// Eq. 7 constraint, and steps the whole cluster every period; the CSV
+	// then carries cluster-level columns, including cluster_step_us — the
+	// wall time of each cluster Step. StepWorkers sizes the cluster's
+	// persistent step worker pool (0 = GOMAXPROCS, 1 = serial; results
+	// are identical at any setting). The -step-workers flag overrides it.
+	Nodes       int `json:"nodes,omitempty"`
+	StepWorkers int `json:"step_workers,omitempty"`
 
 	// Controller overrides (zero values keep the paper defaults).
 	IncreaseTrigger float64 `json:"increase_trigger,omitempty"`
@@ -143,6 +161,8 @@ func main() {
 	linux := flag.Bool("linux", false, "drive the real host via cgroup v2 instead of the simulator")
 	monitorWorkers := flag.Int("monitor-workers", -1,
 		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario)")
+	stepWorkers := flag.Int("step-workers", -1,
+		"cluster step worker-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario; needs nodes >= 2)")
 	auctionShards := flag.Int("auction-shards", 0,
 		"auction shard count (-1 = one per NUMA node, N = forced; 0 defers to the scenario)")
 	estimateShards := flag.Int("estimate-shards", 0,
@@ -195,10 +215,22 @@ func main() {
 	if *estimateShards != 0 {
 		sc.EstimateShards = *estimateShards
 	}
+	if *stepWorkers >= 0 {
+		sc.StepWorkers = *stepWorkers
+	}
 	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
-	if *linux {
+	switch {
+	case *linux:
+		if sc.Nodes >= 2 {
+			fatal(fmt.Errorf("cluster mode (nodes >= 2) is simulation-only"))
+		}
 		err = runLinux(sc, ck)
-	} else {
+	case sc.Nodes >= 2:
+		if ck.path != "" || *snapPath != "" {
+			fatal(fmt.Errorf("cluster mode does not support -checkpoint or -snapshot yet"))
+		}
+		err = runSimCluster(sc, *csvPath)
+	default:
 		err = runSim(sc, *csvPath, *snapPath, ck)
 	}
 	if cpuFile != nil {
@@ -551,6 +583,82 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runSimCluster drives a simulated cluster of sc.Nodes identical
+// machines: the scenario VMs are admitted across the fleet under the
+// Eq. 7 constraint, every period steps all node controllers on the
+// cluster's worker pool, and the CSV reports cluster-level health plus
+// cluster_step_us — the wall time of each cluster Step, the
+// decision-latency figure the pool and the placement index bound.
+func runSimCluster(sc Scenario, csvPath string) error {
+	spec, err := nodeSpec(sc)
+	if err != nil {
+		return err
+	}
+	specs := make([]host.Spec, sc.Nodes)
+	for i := range specs {
+		specs[i] = spec
+	}
+	cl, err := cluster.New(specs, cluster.Config{
+		Controller:  controllerConfig(sc),
+		StepWorkers: sc.StepWorkers,
+		// One unreachable period per node is rare in simulation; three
+		// in a row marks the node failed and evacuates it, matching the
+		// dynamic experiment.
+		FailThreshold: 3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for _, v := range sc.VMs {
+		srcs, err := buildWorkload(v)
+		if err != nil {
+			return fmt.Errorf("VM %q: %w", v.Name, err)
+		}
+		mem := v.MemoryGB
+		if mem == 0 {
+			mem = 1
+		}
+		tpl := vm.Template{Name: v.Name, VCPUs: v.VCPUs, FreqMHz: v.FreqMHz, MemoryGB: mem}
+		node, err := cl.Deploy(v.Name, tpl, srcs)
+		if err != nil {
+			return fmt.Errorf("VM %q: %w", v.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "vfctl: %s placed on node %d\n", v.Name, node)
+	}
+
+	out := os.Stdout
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	fmt.Fprintln(out, "time_s,cluster_step_us,used_nodes,failed_nodes,degraded_vcpus,faults,evacuated_vms,stranded_vms,energy_j")
+	var prevEnergy float64
+	var stepUsSum int64
+	for step := 0; step < sc.DurationS; step++ {
+		start := time.Now()
+		// Node failures are isolated by the cluster — the surviving
+		// nodes were stepped — so an error shows up in failed_nodes
+		// rather than aborting the run.
+		_ = cl.Step()
+		stepUs := time.Since(start).Microseconds()
+		stepUsSum += stepUs
+		h := cl.Health()
+		e := cl.ActiveEnergyJoules()
+		fmt.Fprintf(out, "%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+			step+1, stepUs, cl.UsedNodes(), h.FailedNodes, h.DegradedVCPUs,
+			h.Faults, h.EvacuatedVMs, h.StrandedVMs, e-prevEnergy)
+		prevEnergy = e
+	}
+	fmt.Fprintf(os.Stderr, "vfctl: %d periods over %d nodes, cluster avg step %d µs\n",
+		sc.DurationS, sc.Nodes, stepUsSum/int64(sc.DurationS))
 	return nil
 }
 

@@ -175,14 +175,6 @@ func (t *Tree) addControlFiles(rel string, g *sched.Group) error {
 				return g.SetQuota(q, p)
 			},
 		},
-		"cpu.stat": {
-			read: func() string {
-				return fmt.Sprintf(
-					"usage_usec %d\nuser_usec %d\nsystem_usec 0\nnr_periods %d\nnr_throttled %d\nthrottled_usec %d\nnr_bursts %d\nburst_usec %d\n",
-					g.UsageUs, g.UsageUs, g.NrPeriods, g.NrThrottled, g.ThrottledUs,
-					g.NrBursts, g.BurstUsedUs)
-			},
-		},
 		"cpu.max.burst": {
 			read: func() string { return fmt.Sprintf("%d\n", g.BurstUs) },
 			write: func(s string) error {
@@ -213,12 +205,6 @@ func (t *Tree) addControlFiles(rel string, g *sched.Group) error {
 				return nil
 			},
 		},
-		"cgroup.threads": {
-			read: func() string { return formatTIDs(g.ThreadIDs()) },
-		},
-		"cgroup.procs": {
-			read: func() string { return formatTIDs(g.ThreadIDs()) },
-		},
 		"cgroup.controllers": {
 			read: func() string { return "cpu\n" },
 		},
@@ -228,7 +214,63 @@ func (t *Tree) addControlFiles(rel string, g *sched.Group) error {
 			return err
 		}
 	}
+	// The files the controller's monitor stage reads every period for
+	// every vCPU render through append-style callbacks, so a
+	// ReadFileAppend into a reused buffer allocates nothing.
+	appendFiles := map[string]memfs.ReadAppendFunc{
+		"cpu.stat":       func(buf []byte) []byte { return appendCPUStat(buf, g) },
+		"cgroup.threads": func(buf []byte) []byte { return appendTIDs(buf, g) },
+		"cgroup.procs":   func(buf []byte) []byte { return appendTIDs(buf, g) },
+	}
+	for name, read := range appendFiles {
+		if err := t.fs.AddDynamicAppend(path.Join(dir, name), read, nil); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// appendCPUStat renders cpu.stat into buf, byte-identical to the
+// previous fmt.Sprintf form.
+func appendCPUStat(buf []byte, g *sched.Group) []byte {
+	buf = append(buf, "usage_usec "...)
+	buf = strconv.AppendInt(buf, g.UsageUs, 10)
+	buf = append(buf, "\nuser_usec "...)
+	buf = strconv.AppendInt(buf, g.UsageUs, 10)
+	buf = append(buf, "\nsystem_usec 0\nnr_periods "...)
+	buf = strconv.AppendInt(buf, g.NrPeriods, 10)
+	buf = append(buf, "\nnr_throttled "...)
+	buf = strconv.AppendInt(buf, g.NrThrottled, 10)
+	buf = append(buf, "\nthrottled_usec "...)
+	buf = strconv.AppendInt(buf, g.ThrottledUs, 10)
+	buf = append(buf, "\nnr_bursts "...)
+	buf = strconv.AppendInt(buf, g.NrBursts, 10)
+	buf = append(buf, "\nburst_usec "...)
+	buf = strconv.AppendInt(buf, g.BurstUsedUs, 10)
+	return append(buf, '\n')
+}
+
+// appendTIDs renders the group's thread IDs ascending, one per line,
+// without building the sorted slice ThreadIDs allocates: thread IDs are
+// unique, so emitting the successor of the last emitted ID per round is
+// a selection sort over the (typically single-digit) member list.
+func appendTIDs(buf []byte, g *sched.Group) []byte {
+	prev := -1
+	for range g.Threads {
+		best := -1
+		for _, th := range g.Threads {
+			if th.ID > prev && (best == -1 || th.ID < best) {
+				best = th.ID
+			}
+		}
+		if best == -1 {
+			break
+		}
+		buf = strconv.AppendInt(buf, int64(best), 10)
+		buf = append(buf, '\n')
+		prev = best
+	}
+	return buf
 }
 
 // EnableV1 additionally exposes the hierarchy with cgroup v1 file names

@@ -4,11 +4,18 @@
 // one frequency controller per node, migration-based rebalancing when a
 // node's guarantees become infeasible, and cluster-wide energy
 // accounting with idle nodes powered off.
+//
+// The control plane is built to scale to thousands of nodes: Step feeds
+// a persistent bounded worker pool instead of spawning goroutines,
+// BestFit/WorstFit admission and evacuation run against a free-capacity
+// index instead of scanning every node, and the steady state (no
+// failures, no placements) allocates nothing.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"vfreq/internal/core"
@@ -39,12 +46,21 @@ type Config struct {
 	// failed node is re-admitted after one clean Step. 0 disables
 	// failure detection.
 	FailThreshold int
-	// Parallel steps the nodes concurrently during Cluster.Step, one
-	// goroutine per node. Nodes share no mutable state while stepping
-	// (each owns its machine, manager, controller and meter), so the
-	// per-node reports, failure counters and energy accounting are
-	// identical to the sequential walk; the failure/evacuation pass and
-	// the error join still run sequentially in node-index order.
+	// StepWorkers bounds the worker pool that steps the nodes during
+	// Cluster.Step: 0 picks GOMAXPROCS, 1 steps serially on the calling
+	// goroutine, and any other value is capped at the node count. The
+	// pool goroutines are created once, at the first parallel Step, and
+	// fed node indices over a reusable queue; call Close to stop them.
+	// Nodes share no mutable state while stepping (each owns its
+	// machine, manager, controller and meter), so the per-node reports,
+	// failure counters and energy accounting are bit-identical at any
+	// worker count: the failure/evacuation pass and the error join
+	// always run sequentially in node-index order.
+	StepWorkers int
+	// Parallel is deprecated: stepping is parallel by default (see
+	// StepWorkers, whose zero value picks GOMAXPROCS) and results do
+	// not depend on the worker count. The field is retained so existing
+	// configurations keep compiling; it is ignored.
 	Parallel bool
 }
 
@@ -85,6 +101,20 @@ type Node struct {
 	deployed map[string]*deployment
 	energyJ  float64 // energy accrued while hosting at least one VM
 	lastJ    float64
+
+	// Cached placement totals, maintained on deploy/undeploy/resize so
+	// admission does not iterate the deployment map.
+	usedFreq int64 // Σ vCPU·F in MHz
+	usedVC   int
+	usedMem  int
+	indexed  bool // present in the cluster's free-capacity index
+
+	// Health bookkeeping: the node's contribution to the cluster
+	// aggregate after its last step, and the change against the step
+	// before. stepNode writes them (it owns the node); the sequential
+	// error-join walk folds the deltas into the cluster total.
+	healthPart  nodeHealth
+	healthDelta nodeHealth
 }
 
 type deployment struct {
@@ -106,30 +136,40 @@ func (n *Node) VMs() []string {
 }
 
 // usedFreqMHz returns Σ vCPU·F of the deployed VMs.
-func (n *Node) usedFreqMHz() int64 {
-	var sum int64
-	for _, d := range n.deployed {
-		sum += int64(d.template.VCPUs) * d.template.FreqMHz
-	}
-	return sum
-}
+func (n *Node) usedFreqMHz() int64 { return n.usedFreq }
 
 // usedMemGB returns the deployed memory.
-func (n *Node) usedMemGB() int {
-	var sum int
-	for _, d := range n.deployed {
-		sum += d.template.MemoryGB
-	}
-	return sum
-}
+func (n *Node) usedMemGB() int { return n.usedMem }
 
 // usedVCPUs returns the deployed vCPU count.
-func (n *Node) usedVCPUs() int {
-	var sum int
-	for _, d := range n.deployed {
-		sum += d.template.VCPUs
+func (n *Node) usedVCPUs() int { return n.usedVC }
+
+// nodeHealth is one node's contribution to the cluster Health aggregate.
+type nodeHealth struct {
+	vcpus, degraded, faults   int
+	degradedNodes, overruns   int
+	recovered, open, halfOpen int
+	trips                     int
+}
+
+func (a nodeHealth) sub(b nodeHealth) nodeHealth {
+	return nodeHealth{
+		vcpus: a.vcpus - b.vcpus, degraded: a.degraded - b.degraded,
+		faults: a.faults - b.faults, degradedNodes: a.degradedNodes - b.degradedNodes,
+		overruns: a.overruns - b.overruns, recovered: a.recovered - b.recovered,
+		open: a.open - b.open, halfOpen: a.halfOpen - b.halfOpen,
+		trips: a.trips - b.trips,
 	}
-	return sum
+}
+
+func (a nodeHealth) add(b nodeHealth) nodeHealth {
+	return nodeHealth{
+		vcpus: a.vcpus + b.vcpus, degraded: a.degraded + b.degraded,
+		faults: a.faults + b.faults, degradedNodes: a.degradedNodes + b.degradedNodes,
+		overruns: a.overruns + b.overruns, recovered: a.recovered + b.recovered,
+		open: a.open + b.open, halfOpen: a.halfOpen + b.halfOpen,
+		trips: a.trips + b.trips,
+	}
 }
 
 // Cluster manages a set of nodes.
@@ -142,6 +182,34 @@ type Cluster struct {
 	evacuations   int // cumulative VMs moved off failed nodes
 	lastEvacuated int // VMs evacuated during the last Step
 	lastStranded  int // VMs left on failed nodes during the last Step
+
+	// index orders the non-failed nodes by remaining capacity so
+	// BestFit/WorstFit admission and evacuation are O(log N) per VM.
+	// noIndex (a test hook) forces the original linear scans, which the
+	// twin suites compare against.
+	index   *placement.Index
+	noIndex bool
+
+	// Cached Health aggregate, maintained incrementally from the
+	// per-node deltas so Health() is O(1) and Step's aggregation is a
+	// handful of integer additions per node.
+	agg         nodeHealth
+	failedNodes int
+
+	errScratch []error // reused error-join scratch
+
+	// Persistent step worker pool (see Config.StepWorkers).
+	workers    int
+	stepCh     chan int
+	stepWG     sync.WaitGroup
+	stepPeriod int64
+	panicMu    sync.Mutex
+	panicVal   any
+
+	// RecordHealth scratch: per-node series names and the reused
+	// values map handed to trace.Recorder.RecordAll.
+	seriesNames [][2]string
+	healthVals  map[string]float64
 }
 
 // New boots one machine per spec.
@@ -175,7 +243,51 @@ func New(specs []host.Spec, cfg Config) (*Cluster, error) {
 			deployed: map[string]*deployment{},
 		})
 	}
+	c.index = placement.NewIndex(len(c.nodes))
+	c.rebuildIndex()
 	return c, nil
+}
+
+// rebuildIndex reconstructs the free-capacity index from scratch — the
+// fallback for wholesale state changes (restores, test hooks); every
+// incremental path goes through reindex instead.
+func (c *Cluster) rebuildIndex() {
+	c.index.Reset()
+	for _, n := range c.nodes {
+		n.indexed = false
+		c.reindex(n)
+	}
+}
+
+// reindex synchronises one node's index entry with its current
+// remaining capacity and failure state.
+func (c *Cluster) reindex(n *Node) {
+	if c.noIndex {
+		return
+	}
+	if n.Failed {
+		if n.indexed {
+			c.index.Remove(n.Index)
+			n.indexed = false
+		}
+		return
+	}
+	if n.indexed {
+		c.index.Update(n.Index, c.remaining(n))
+	} else {
+		c.index.Insert(n.Index, c.remaining(n))
+		n.indexed = true
+	}
+}
+
+// Close stops the step worker pool, if one was started. The cluster
+// must not be stepped after (or concurrently with) Close. Close is
+// idempotent; a cluster stepped serially needs no Close.
+func (c *Cluster) Close() {
+	if c.stepCh != nil {
+		close(c.stepCh)
+		c.stepCh = nil
+	}
 }
 
 // Nodes returns the managed nodes.
@@ -221,7 +333,10 @@ func (c *Cluster) fits(n *Node, tpl vm.Template) bool {
 }
 
 // remaining returns the free capacity of n in the policy's unit, for the
-// BestFit/WorstFit choice.
+// BestFit/WorstFit choice. It is also the node's key in the
+// free-capacity index: for the integer demands and capacities in play
+// the arithmetic is exact, so "remaining < demand" in the index prunes
+// exactly the nodes the fits capacity check would reject.
 func (c *Cluster) remaining(n *Node) float64 {
 	p := c.cfg.Policy
 	spec := n.Spec()
@@ -233,11 +348,53 @@ func (c *Cluster) remaining(n *Node) float64 {
 	}
 }
 
+// demand returns tpl's CPU demand in the policy's unit — the minimum
+// index key a node needs to pass the fits capacity check.
+func (c *Cluster) demand(tpl vm.Template) float64 {
+	if c.cfg.Policy.Mode == placement.CoreCount {
+		return float64(tpl.VCPUs)
+	}
+	return float64(int64(tpl.VCPUs) * tpl.FreqMHz)
+}
+
 // Deploy admits a VM onto the cluster and provisions it. sources may be
 // nil (idle VM). It returns the chosen node index.
 func (c *Cluster) Deploy(name string, tpl vm.Template, sources []workload.Source) (int, error) {
 	if _, ok := c.locations[name]; ok {
 		return -1, fmt.Errorf("cluster: VM %q already deployed", name)
+	}
+	chosen, err := c.choose(tpl)
+	if err != nil {
+		return -1, err
+	}
+	if chosen == -1 {
+		return -1, fmt.Errorf("cluster: no node can host %q (%d vCPU @ %d MHz, %d GB)",
+			name, tpl.VCPUs, tpl.FreqMHz, tpl.MemoryGB)
+	}
+	if err := c.provisionOn(chosen, name, tpl, sources); err != nil {
+		return -1, err
+	}
+	return chosen, nil
+}
+
+// choose picks the admission target under the configured algorithm, or
+// -1 when no node fits. BestFit/WorstFit consult the free-capacity
+// index — an O(log N) search bit-identical to the linear scans below —
+// unless the noIndex test hook forces the scans; FirstFit, which the
+// index cannot help (it orders by capacity, not node index), always
+// scans.
+func (c *Cluster) choose(tpl vm.Template) (int, error) {
+	if !c.noIndex {
+		switch c.cfg.Algorithm {
+		case placement.BestFit:
+			return c.index.Best(c.demand(tpl), func(id int) bool {
+				return c.fits(c.nodes[id], tpl)
+			}), nil
+		case placement.WorstFit:
+			return c.index.Worst(c.demand(tpl), func(id int) bool {
+				return c.fits(c.nodes[id], tpl)
+			}), nil
+		}
 	}
 	chosen := -1
 	for i, n := range c.nodes {
@@ -262,13 +419,6 @@ func (c *Cluster) Deploy(name string, tpl vm.Template, sources []workload.Source
 		}
 		break
 	}
-	if chosen == -1 {
-		return -1, fmt.Errorf("cluster: no node can host %q (%d vCPU @ %d MHz, %d GB)",
-			name, tpl.VCPUs, tpl.FreqMHz, tpl.MemoryGB)
-	}
-	if err := c.provisionOn(chosen, name, tpl, sources); err != nil {
-		return -1, err
-	}
 	return chosen, nil
 }
 
@@ -281,6 +431,10 @@ func (c *Cluster) provisionOn(idx int, name string, tpl vm.Template, sources []w
 	}
 	n.deployed[name] = &deployment{name: name, template: tpl, sources: sources}
 	c.locations[name] = idx
+	n.usedFreq += int64(tpl.VCPUs) * tpl.FreqMHz
+	n.usedVC += tpl.VCPUs
+	n.usedMem += tpl.MemoryGB
+	c.reindex(n)
 	return nil
 }
 
@@ -294,8 +448,13 @@ func (c *Cluster) Undeploy(name string) error {
 	if err := n.Manager.Destroy(name); err != nil {
 		return err
 	}
+	d := n.deployed[name]
 	delete(n.deployed, name)
 	delete(c.locations, name)
+	n.usedFreq -= int64(d.template.VCPUs) * d.template.FreqMHz
+	n.usedVC -= d.template.VCPUs
+	n.usedMem -= d.template.MemoryGB
+	c.reindex(n)
 	return nil
 }
 
@@ -348,7 +507,11 @@ func (c *Cluster) Resize(name string, tpl vm.Template, srcs []workload.Source) e
 	if err := n.Manager.Reconfigure(name, tpl, srcs); err != nil {
 		return err
 	}
+	n.usedFreq += int64(tpl.VCPUs)*tpl.FreqMHz - int64(d.template.VCPUs)*d.template.FreqMHz
+	n.usedVC += tpl.VCPUs - d.template.VCPUs
+	n.usedMem += tpl.MemoryGB - d.template.MemoryGB
 	d.template = tpl
+	c.reindex(n)
 	return nil
 }
 
@@ -417,17 +580,7 @@ func (c *Cluster) Rebalance() (int, error) {
 			if name == "" {
 				break
 			}
-			target := -1
-			for j := range c.nodes {
-				if j == idx || c.nodes[j].Failed {
-					continue
-				}
-				if c.fits(c.nodes[j], n.deployed[name].template) {
-					if target == -1 || c.remaining(c.nodes[j]) < c.remaining(c.nodes[target]) {
-						target = j
-					}
-				}
-			}
+			target := c.bestTarget(n.deployed[name].template, idx)
 			if target == -1 {
 				return moved, fmt.Errorf("cluster: node %d overloaded and no migration target for %q", idx, name)
 			}
@@ -438,6 +591,26 @@ func (c *Cluster) Rebalance() (int, error) {
 		}
 	}
 	return moved, nil
+}
+
+// bestTarget picks the BestFit migration target for tpl among the
+// non-failed nodes other than exclude, or -1.
+func (c *Cluster) bestTarget(tpl vm.Template, exclude int) int {
+	if !c.noIndex {
+		return c.index.Best(c.demand(tpl), func(id int) bool {
+			return id != exclude && c.fits(c.nodes[id], tpl)
+		})
+	}
+	target := -1
+	for j, t := range c.nodes {
+		if j == exclude || t.Failed || !c.fits(t, tpl) {
+			continue
+		}
+		if target == -1 || c.remaining(t) < c.remaining(c.nodes[target]) {
+			target = j
+		}
+	}
+	return target
 }
 
 func (c *Cluster) isOverloaded(idx int) bool {
@@ -464,48 +637,129 @@ func (c *Cluster) smallestVM(n *Node) string {
 	return best
 }
 
+// stepWorkerCount resolves Config.StepWorkers against GOMAXPROCS and
+// the node count.
+func (c *Cluster) stepWorkerCount() int {
+	w := c.cfg.StepWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.nodes) {
+		w = len(c.nodes)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ensurePool starts the persistent worker pool on the first parallel
+// Step. The pool size is fixed for the cluster's lifetime.
+func (c *Cluster) ensurePool(workers int) {
+	if c.stepCh != nil {
+		return
+	}
+	c.stepCh = make(chan int, len(c.nodes))
+	c.workers = workers
+	for i := 0; i < workers; i++ {
+		go c.stepWorker()
+	}
+}
+
+func (c *Cluster) stepWorker() {
+	for idx := range c.stepCh {
+		c.runStep(idx)
+	}
+}
+
+// runStep steps one node inside a pool worker, capturing a panic for
+// re-raise on the Step goroutine so a poisoned node cannot kill a
+// worker silently.
+func (c *Cluster) runStep(idx int) {
+	defer c.stepWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicMu.Lock()
+			if c.panicVal == nil {
+				c.panicVal = r
+			}
+			c.panicMu.Unlock()
+		}
+	}()
+	c.stepNode(c.nodes[idx], c.stepPeriod)
+}
+
 // Step advances every node by one control period and runs its
 // controller. Node failures are isolated: a node whose host is
 // unreachable for the period does not stop the other nodes from being
 // controlled — its error is recorded on the node and returned joined
 // with any others after every node has stepped.
 //
+// Nodes step on the persistent worker pool (Config.StepWorkers); the
+// walks after the barrier — the deterministic node-index-order error
+// join, the Health delta aggregation, and the failure/evacuation pass —
+// always run sequentially on the calling goroutine, so reports,
+// checkpoints and returned errors are bit-identical at any worker
+// count. With no failed node the whole path allocates nothing.
+//
 // When Config.FailThreshold is positive, Step additionally tracks
 // consecutive node-level failures: a node past the threshold is marked
-// failed, excluded from admission, and its VMs are evacuated to the
-// surviving nodes under the same Eq. 7 constraint as initial placement.
-// A failed node re-admits itself after one clean Step.
+// failed, excluded from admission (and the free-capacity index), and
+// its VMs are evacuated to the surviving nodes under the same Eq. 7
+// constraint as initial placement. A failed node re-admits itself after
+// one clean Step.
 func (c *Cluster) Step() error {
 	period := c.cfg.Controller.PeriodUs
-	if c.cfg.Parallel && len(c.nodes) > 1 {
-		var wg sync.WaitGroup
-		wg.Add(len(c.nodes))
-		for _, n := range c.nodes {
-			go func(n *Node) {
-				defer wg.Done()
-				c.stepNode(n, period)
-			}(n)
+	if workers := c.stepWorkerCount(); workers > 1 {
+		c.ensurePool(workers)
+		c.stepPeriod = period
+		c.stepWG.Add(len(c.nodes))
+		for i := range c.nodes {
+			c.stepCh <- i
 		}
-		wg.Wait()
+		c.stepWG.Wait()
+		c.panicMu.Lock()
+		r := c.panicVal
+		c.panicVal = nil
+		c.panicMu.Unlock()
+		if r != nil {
+			panic(r)
+		}
 	} else {
 		for _, n := range c.nodes {
 			c.stepNode(n, period)
 		}
 	}
-	// Joining errors after every node has stepped, in node-index order,
-	// keeps the returned error deterministic whether or not the nodes
-	// stepped concurrently.
-	var errs []error
+	// First sequential walk, in node-index order: join node errors
+	// deterministically, fold the per-node Health deltas into the
+	// cached aggregate, and re-admit recovered nodes into the
+	// free-capacity index.
+	errs := c.errScratch[:0]
 	for _, n := range c.nodes {
 		if n.LastErr != nil {
 			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.Index, n.LastErr))
 		}
+		c.agg = c.agg.add(n.healthDelta)
+		if !c.noIndex && !n.Failed && !n.indexed {
+			c.reindex(n)
+		}
 	}
+	// Second sequential walk: mark nodes past the failure threshold
+	// (dropping them from the index) and evacuate their VMs. Marking
+	// and evacuating in the same ascending walk preserves the original
+	// semantics: evacuation from node i may still target a failing but
+	// not yet marked node j > i. FailedNodes is finalised here because
+	// it depends on the marks.
 	c.lastEvacuated, c.lastStranded = 0, 0
-	if c.cfg.FailThreshold > 0 {
-		for _, n := range c.nodes {
-			if n.FailedSteps >= c.cfg.FailThreshold {
+	failed := 0
+	for _, n := range c.nodes {
+		if c.cfg.FailThreshold > 0 {
+			if n.FailedSteps >= c.cfg.FailThreshold && !n.Failed {
 				n.Failed = true
+				if n.indexed {
+					c.index.Remove(n.Index)
+					n.indexed = false
+				}
 			}
 			if n.Failed && len(n.deployed) > 0 {
 				ev, str := c.evacuate(n)
@@ -513,8 +767,14 @@ func (c *Cluster) Step() error {
 				c.lastStranded += str
 			}
 		}
+		if n.LastErr != nil || n.Failed {
+			failed++
+		}
 	}
-	return errors.Join(errs...)
+	c.failedNodes = failed
+	err := errors.Join(errs...)
+	c.errScratch = errs[:0]
+	return err
 }
 
 // stepNode advances one node by a period and runs its controller,
@@ -540,6 +800,19 @@ func (c *Cluster) stepNode(n *Node, period int64) {
 		n.energyJ += j - n.lastJ
 	}
 	n.lastJ = j
+	part := nodeHealth{
+		vcpus: rep.VCPUs, degraded: rep.DegradedVCPUs, faults: rep.FaultCount(),
+		recovered: rep.Recovered, open: rep.OpenVMs, halfOpen: rep.HalfOpenVMs,
+		trips: rep.BreakerTrips,
+	}
+	if rep.Degraded() {
+		part.degradedNodes = 1
+	}
+	if rep.Overrun {
+		part.overruns = 1
+	}
+	n.healthDelta = part.sub(n.healthPart)
+	n.healthPart = part
 }
 
 // evacuate moves every VM off a failed node, choosing BestFit targets
@@ -551,15 +824,7 @@ func (c *Cluster) stepNode(n *Node, period int64) {
 func (c *Cluster) evacuate(n *Node) (evacuated, stranded int) {
 	for _, name := range n.VMs() {
 		d := n.deployed[name]
-		target := -1
-		for j, t := range c.nodes {
-			if j == n.Index || t.Failed || !c.fits(t, d.template) {
-				continue
-			}
-			if target == -1 || c.remaining(t) < c.remaining(c.nodes[target]) {
-				target = j
-			}
-		}
+		target := c.bestTarget(d.template, n.Index)
 		if target == -1 {
 			stranded++
 			continue
@@ -605,56 +870,62 @@ type Health struct {
 	BreakerTrips int
 }
 
-// Health aggregates the per-node degradation reports of the last Step.
+// Health returns the degradation summary of the last Step. The
+// aggregate is maintained incrementally from per-node deltas during
+// Step, so the call is O(1) regardless of cluster size.
 func (c *Cluster) Health() Health {
-	var h Health
-	for _, n := range c.nodes {
-		rep := n.LastReport
-		h.VCPUs += rep.VCPUs
-		h.DegradedVCPUs += rep.DegradedVCPUs
-		h.Faults += rep.FaultCount()
-		if rep.Degraded() {
-			h.DegradedNodes++
-		}
-		if n.LastErr != nil || n.Failed {
-			h.FailedNodes++
-		}
-		if rep.Overrun {
-			h.Overruns++
-		}
-		h.Recovered += rep.Recovered
-		h.OpenVMs += rep.OpenVMs
-		h.HalfOpenVMs += rep.HalfOpenVMs
-		h.BreakerTrips += rep.BreakerTrips
+	return Health{
+		VCPUs:         c.agg.vcpus,
+		DegradedVCPUs: c.agg.degraded,
+		Faults:        c.agg.faults,
+		DegradedNodes: c.agg.degradedNodes,
+		FailedNodes:   c.failedNodes,
+		Overruns:      c.agg.overruns,
+		Recovered:     c.agg.recovered,
+		EvacuatedVMs:  c.lastEvacuated,
+		StrandedVMs:   c.lastStranded,
+		OpenVMs:       c.agg.open,
+		HalfOpenVMs:   c.agg.halfOpen,
+		BreakerTrips:  c.agg.trips,
 	}
-	h.EvacuatedVMs = c.lastEvacuated
-	h.StrandedVMs = c.lastStranded
-	return h
 }
 
 // RecordHealth appends the last Step's degradation to rec as time
 // series at time tS: cluster-wide totals plus one degraded-vCPU series
 // per node, giving operators the same view of partial failure the
-// paper's figures give of frequency.
+// paper's figures give of frequency. The series names and the values
+// map are cached on the cluster, so repeated calls do not re-render
+// names or reallocate.
 func (c *Cluster) RecordHealth(rec *trace.Recorder, tS float64) {
 	h := c.Health()
-	values := map[string]float64{
-		"cluster_degraded_vcpus": float64(h.DegradedVCPUs),
-		"cluster_faults":         float64(h.Faults),
-		"cluster_failed_nodes":   float64(h.FailedNodes),
-		"cluster_overruns":       float64(h.Overruns),
-		"cluster_evacuated_vms":  float64(h.EvacuatedVMs),
-		"cluster_stranded_vms":   float64(h.StrandedVMs),
-		"cluster_open_vms":       float64(h.OpenVMs),
-		"cluster_halfopen_vms":   float64(h.HalfOpenVMs),
+	if c.healthVals == nil {
+		c.healthVals = make(map[string]float64, 8+2*len(c.nodes))
 	}
+	if c.seriesNames == nil {
+		c.seriesNames = make([][2]string, len(c.nodes))
+		for _, n := range c.nodes {
+			c.seriesNames[n.Index] = [2]string{
+				fmt.Sprintf("node%d_degraded", n.Index),
+				fmt.Sprintf("node%d_overrun", n.Index),
+			}
+		}
+	}
+	values := c.healthVals
+	values["cluster_degraded_vcpus"] = float64(h.DegradedVCPUs)
+	values["cluster_faults"] = float64(h.Faults)
+	values["cluster_failed_nodes"] = float64(h.FailedNodes)
+	values["cluster_overruns"] = float64(h.Overruns)
+	values["cluster_evacuated_vms"] = float64(h.EvacuatedVMs)
+	values["cluster_stranded_vms"] = float64(h.StrandedVMs)
+	values["cluster_open_vms"] = float64(h.OpenVMs)
+	values["cluster_halfopen_vms"] = float64(h.HalfOpenVMs)
 	for _, n := range c.nodes {
-		values[fmt.Sprintf("node%d_degraded", n.Index)] = float64(n.LastReport.DegradedVCPUs)
+		values[c.seriesNames[n.Index][0]] = float64(n.LastReport.DegradedVCPUs)
 		overrun := 0.0
 		if n.LastReport.Overrun {
 			overrun = 1
 		}
-		values[fmt.Sprintf("node%d_overrun", n.Index)] = overrun
+		values[c.seriesNames[n.Index][1]] = overrun
 	}
 	rec.RecordAll(tS, values)
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"vfreq/internal/host"
@@ -76,11 +77,11 @@ func stepFingerprint(c *Cluster) string {
 }
 
 // buildParallelFixture deploys a deterministic mixed workload across
-// three nodes.
-func buildParallelFixture(t *testing.T, parallel bool) *Cluster {
+// three nodes, stepped by the given worker-pool size (1 = serial).
+func buildParallelFixture(t *testing.T, workers int) *Cluster {
 	t.Helper()
 	specs := []host.Spec{host.Chetemi(), host.Chiclet(), host.Chetemi()}
-	c, err := New(specs, Config{Parallel: parallel, FailThreshold: 3})
+	c, err := New(specs, Config{StepWorkers: workers, FailThreshold: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,21 +109,49 @@ func buildParallelFixture(t *testing.T, parallel bool) *Cluster {
 	return c
 }
 
-// TestParallelStepDeterminism runs the same deployment twice — nodes
-// stepped sequentially vs concurrently — and requires identical caps,
-// credits, reports and energy after every Step.
+// TestParallelStepDeterminism runs the same deployment under worker
+// pools of 1 (serial), 4 and GOMAXPROCS and requires identical caps,
+// credits, reports and energy after every Step — the pool twin of the
+// tentpole: results must not depend on the worker count.
 func TestParallelStepDeterminism(t *testing.T) {
-	seq := buildParallelFixture(t, false)
-	par := buildParallelFixture(t, true)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	clusters := make([]*Cluster, len(workerCounts))
+	for i, w := range workerCounts {
+		clusters[i] = buildParallelFixture(t, w)
+		defer clusters[i].Close()
+	}
 	for s := 0; s < 20; s++ {
-		errSeq := seq.Step()
-		errPar := par.Step()
-		if (errSeq == nil) != (errPar == nil) {
-			t.Fatalf("step %d: sequential err=%v parallel err=%v", s, errSeq, errPar)
-		}
-		fpSeq, fpPar := stepFingerprint(seq), stepFingerprint(par)
-		if fpSeq != fpPar {
-			t.Fatalf("step %d diverged:\n--- sequential ---\n%s--- parallel ---\n%s", s, fpSeq, fpPar)
+		errSeq := clusters[0].Step()
+		fpSeq := stepFingerprint(clusters[0])
+		for i := 1; i < len(clusters); i++ {
+			errPar := clusters[i].Step()
+			if (errSeq == nil) != (errPar == nil) {
+				t.Fatalf("step %d: workers=1 err=%v workers=%d err=%v", s, errSeq, workerCounts[i], errPar)
+			}
+			if fpPar := stepFingerprint(clusters[i]); fpSeq != fpPar {
+				t.Fatalf("step %d diverged at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+					s, workerCounts[i], fpSeq, workerCounts[i], fpPar)
+			}
 		}
 	}
+}
+
+// TestStepWorkerPanicReraise pins the pool's panic contract: a panic
+// while stepping a node resurfaces on the goroutine calling Step, not
+// inside a worker.
+func TestStepWorkerPanicReraise(t *testing.T) {
+	c := buildParallelFixture(t, 2)
+	defer c.Close()
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Poison a node: a nil machine panics in stepNode before the
+	// controller's own recovery can intervene.
+	c.nodes[1].Machine = nil
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not resurface on the Step caller")
+		}
+	}()
+	_ = c.Step()
 }

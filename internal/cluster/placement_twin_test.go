@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vfreq/internal/host"
+	"vfreq/internal/placement"
+	"vfreq/internal/vm"
+)
+
+// newTwinPair builds two identical clusters, one using the
+// free-capacity index and one forced onto the original linear scans
+// via the noIndex hook.
+func newTwinPair(t *testing.T, alg placement.Algorithm) (indexed, linear *Cluster) {
+	t.Helper()
+	specs := []host.Spec{
+		host.Chetemi(), host.Chiclet(), host.Chetemi(),
+		host.Chiclet(), host.Chetemi(), host.Chiclet(),
+	}
+	cfg := Config{Algorithm: alg, FailThreshold: 2, StepWorkers: 1}
+	var err error
+	if indexed, err = New(specs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if linear, err = New(specs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	linear.noIndex = true
+	return indexed, linear
+}
+
+// checkIndexInvariants verifies the free-capacity index against ground
+// truth: exactly the non-failed nodes are present, each under its
+// current remaining capacity.
+func checkIndexInvariants(t *testing.T, c *Cluster) {
+	t.Helper()
+	for _, n := range c.nodes {
+		if n.Failed {
+			if c.index.Contains(n.Index) {
+				t.Fatalf("failed node %d still indexed", n.Index)
+			}
+			continue
+		}
+		if !c.index.Contains(n.Index) {
+			t.Fatalf("live node %d missing from index", n.Index)
+		}
+		if got, want := c.index.Key(n.Index), c.remaining(n); got != want {
+			t.Fatalf("node %d indexed under %v, remaining is %v", n.Index, got, want)
+		}
+	}
+}
+
+// churn drives one seeded schedule of deploys, undeploys, resizes, node
+// failures, recoveries and steps against a cluster, returning a log of
+// every placement-visible outcome. Runs with the same seed must produce
+// identical logs regardless of the placement implementation.
+func churn(t *testing.T, c *Cluster, seed int64, steps int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	templates := []vm.Template{vm.Small(), vm.Medium(), vm.Large()}
+	var (
+		log      strings.Builder
+		names    []string
+		nextID   int
+		downErr  = errors.New("injected outage")
+		downNode = -1
+	)
+	for op := 0; op < steps; op++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // deploy
+			name := fmt.Sprintf("vm%04d", nextID)
+			nextID++
+			idx, err := c.Deploy(name, templates[rng.Intn(len(templates))], nil)
+			if err == nil {
+				names = append(names, name)
+			}
+			fmt.Fprintf(&log, "deploy %s -> %d err=%v\n", name, idx, err != nil)
+		case k < 5: // undeploy
+			if len(names) == 0 {
+				continue
+			}
+			i := rng.Intn(len(names))
+			name := names[i]
+			err := c.Undeploy(name)
+			if err == nil {
+				names = append(names[:i], names[i+1:]...)
+			}
+			fmt.Fprintf(&log, "undeploy %s err=%v\n", name, err != nil)
+		case k < 6: // resize
+			if len(names) == 0 {
+				continue
+			}
+			name := names[rng.Intn(len(names))]
+			err := c.Resize(name, templates[rng.Intn(len(templates))], nil)
+			fmt.Fprintf(&log, "resize %s err=%v\n", name, err != nil)
+		case k < 7: // fail a node / recover it
+			if downNode == -1 {
+				downNode = rng.Intn(len(c.nodes))
+				c.nodes[downNode].Machine.FailReads("machine-", downErr, -1)
+				fmt.Fprintf(&log, "fail node %d\n", downNode)
+			} else {
+				c.nodes[downNode].Machine.ClearFileFaults()
+				fmt.Fprintf(&log, "recover node %d\n", downNode)
+				downNode = -1
+			}
+		default: // step: exercises failure marking, evacuation, re-admission
+			err := c.Step()
+			h := c.Health()
+			fmt.Fprintf(&log, "step err=%v failed=%d evac=%d stranded=%d\n",
+				err != nil, h.FailedNodes, h.EvacuatedVMs, h.StrandedVMs)
+		}
+		// Full placement snapshot after every op: any divergence in
+		// admission, evacuation targets or re-admission shows here.
+		for _, name := range names {
+			fmt.Fprintf(&log, " %s@%d", name, c.Locate(name))
+		}
+		log.WriteString("\n")
+	}
+	return log.String()
+}
+
+// TestPlacementTwinChurn proves the indexed BestFit/WorstFit placements
+// bit-identical to the linear scans across admission, evacuation and
+// node re-admission, over 100 seeded churn schedules (50 per
+// algorithm).
+func TestPlacementTwinChurn(t *testing.T) {
+	for _, alg := range []placement.Algorithm{placement.BestFit, placement.WorstFit} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 50; seed++ {
+				indexed, linear := newTwinPair(t, alg)
+				got := churn(t, indexed, seed, 30)
+				want := churn(t, linear, seed, 30)
+				if got != want {
+					t.Fatalf("seed %d diverged:\n--- indexed ---\n%s--- linear ---\n%s", seed, got, want)
+				}
+				checkIndexInvariants(t, indexed)
+				indexed.Close()
+				linear.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled skips allocation assertions under the race detector, whose
+// instrumentation allocates.
+const raceEnabled = true

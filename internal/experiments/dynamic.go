@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"vfreq/internal/cluster"
 	"vfreq/internal/host"
@@ -33,9 +34,10 @@ type DynamicClusterExperiment struct {
 	// FailThreshold enables node-failure detection and evacuation (see
 	// cluster.Config.FailThreshold); 0 disables it.
 	FailThreshold int
-	// Parallel steps the cluster's nodes concurrently (see
-	// cluster.Config.Parallel); results are identical either way.
-	Parallel bool
+	// StepWorkers sizes the cluster's persistent step worker pool (see
+	// cluster.Config.StepWorkers): 0 picks GOMAXPROCS, 1 steps serially.
+	// Results are bit-identical at any setting; only wall-clock moves.
+	StepWorkers int
 }
 
 // DynamicResult summarises a dynamic run.
@@ -61,6 +63,11 @@ type DynamicResult struct {
 	// the per-step sum of VMs stuck on a failed node with no target.
 	Evacuations     int
 	StrandedVMSteps int
+	// MeanStepUs and MaxStepUs record the wall time of cluster Steps —
+	// the decision-latency figure the worker pool and placement index
+	// exist to bound. They vary run to run; everything else is seeded.
+	MeanStepUs float64
+	MaxStepUs  int64
 }
 
 // Run executes the experiment.
@@ -71,11 +78,12 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 	cl, err := cluster.New(e.Nodes, cluster.Config{
 		Policy:        e.Policy,
 		FailThreshold: e.FailThreshold,
-		Parallel:      e.Parallel,
+		StepWorkers:   e.StepWorkers,
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer cl.Close()
 	rng := rand.New(rand.NewSource(e.Seed))
 	templates := []vm.Template{vm.Small(), vm.Medium(), vm.Large()}
 	type liveVM struct {
@@ -85,7 +93,7 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 	var live []liveVM
 	res := &DynamicResult{}
 	nextID := 0
-	var usedSum int64
+	var usedSum, stepUsSum int64
 	for step := 0; step < e.Steps; step++ {
 		// Departures first.
 		kept := live[:0]
@@ -118,7 +126,14 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 			life := int(rng.ExpFloat64()*e.MeanLifetimeSteps) + 1
 			live = append(live, liveVM{name: name, until: step + life})
 		}
-		if err := cl.Step(); err != nil {
+		start := time.Now()
+		err := cl.Step()
+		stepUs := time.Since(start).Microseconds()
+		stepUsSum += stepUs
+		if stepUs > res.MaxStepUs {
+			res.MaxStepUs = stepUs
+		}
+		if err != nil {
 			// Node failures are isolated by the cluster: the surviving
 			// nodes were stepped and (with FailThreshold set) the failed
 			// ones are being evacuated, so the run continues.
@@ -135,6 +150,7 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 		}
 	}
 	res.MeanUsedNodes = float64(usedSum) / float64(e.Steps)
+	res.MeanStepUs = float64(stepUsSum) / float64(e.Steps)
 	res.ActiveEnergyJ = cl.ActiveEnergyJoules()
 	res.AlwaysOnEnergyJ = cl.TotalEnergyJoules()
 	res.Migrations = cl.Migrations()

@@ -30,6 +30,14 @@ var (
 // ReadFunc produces the current content of a dynamic file.
 type ReadFunc func() string
 
+// ReadAppendFunc renders the current content of a dynamic file by
+// appending it to buf. Implementations must not retain buf. Files backed
+// by a ReadAppendFunc can be read without heap allocation through
+// ReadFileAppend — the property the simulated host's per-period
+// pseudo-file reads (cpu.stat, cgroup.threads, /proc/<tid>/stat,
+// scaling_cur_freq) rely on.
+type ReadAppendFunc func(buf []byte) []byte
+
 // WriteFunc consumes a write to a dynamic file. Returning an error makes
 // the write fail, as the kernel does for malformed control-file writes.
 type WriteFunc func(data string) error
@@ -38,11 +46,15 @@ type node struct {
 	name     string
 	dir      bool
 	children map[string]*node
-	// static content, used when read is nil
-	content string
-	read    ReadFunc
-	write   WriteFunc
+	// static content, used when read and readAppend are nil
+	content    string
+	read       ReadFunc
+	readAppend ReadAppendFunc
+	write      WriteFunc
 }
+
+// dynamic reports whether the node's reads run a callback.
+func (n *node) dynamic() bool { return n.read != nil || n.readAppend != nil }
 
 // FaultFunc inspects an access before it happens; a non-nil return
 // aborts the operation with that error. op is "read" or "write". It lets
@@ -101,9 +113,20 @@ func split(p string) []string {
 	return strings.Split(strings.TrimPrefix(p, "/"), "/")
 }
 
+// lookup walks the tree segment by segment without splitting the path
+// into a fresh slice, so reads on the hot monitor path allocate nothing.
 func (fs *FS) lookup(p string) (*node, error) {
+	cp := clean(p)
 	cur := fs.root
-	for _, el := range split(p) {
+	for i := 1; i < len(cp); {
+		var el string
+		if j := strings.IndexByte(cp[i:], '/'); j >= 0 {
+			el = cp[i : i+j]
+			i += j + 1
+		} else {
+			el = cp[i:]
+			i = len(cp)
+		}
 		if !cur.dir {
 			return nil, ErrNotDir
 		}
@@ -177,6 +200,17 @@ func (fs *FS) AddDynamic(p string, read ReadFunc, write WriteFunc) error {
 	return fs.addNode(p, &node{read: read, write: write})
 }
 
+// AddDynamicAppend creates a dynamic file backed by an append-style
+// renderer: ReadFile wraps it into a string, ReadFileAppend uses it
+// directly and stays allocation-free. A nil write makes the file
+// read-only.
+func (fs *FS) AddDynamicAppend(p string, read ReadAppendFunc, write WriteFunc) error {
+	if read == nil {
+		return fmt.Errorf("memfs: nil append reader for %s", p)
+	}
+	return fs.addNode(p, &node{readAppend: read, write: write})
+}
+
 func (fs *FS) addNode(p string, n *node) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -213,6 +247,7 @@ func (fs *FS) ReadFile(p string) (string, error) {
 		return "", fmt.Errorf("%w: %s", ErrIsDir, p)
 	}
 	read := n.read
+	readAppend := n.readAppend
 	content := n.content
 	fs.mu.RUnlock()
 	// Dynamic reads run outside the lock: the callback may consult
@@ -220,7 +255,42 @@ func (fs *FS) ReadFile(p string) (string, error) {
 	if read != nil {
 		return read(), nil
 	}
+	if readAppend != nil {
+		return string(readAppend(nil)), nil
+	}
 	return content, nil
+}
+
+// ReadFileAppend appends the current content of the file at p to buf and
+// returns the extended slice. For files created with AddDynamicAppend
+// the render happens directly into buf, so a read with sufficient
+// capacity performs no heap allocation; other files fall back to the
+// string content. Fault hooks fire exactly as for ReadFile.
+func (fs *FS) ReadFileAppend(p string, buf []byte) ([]byte, error) {
+	if err := fs.checkFault("read", p); err != nil {
+		return buf, err
+	}
+	fs.mu.RLock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		fs.mu.RUnlock()
+		return buf, err
+	}
+	if n.dir {
+		fs.mu.RUnlock()
+		return buf, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	read := n.read
+	readAppend := n.readAppend
+	content := n.content
+	fs.mu.RUnlock()
+	if readAppend != nil {
+		return readAppend(buf), nil
+	}
+	if read != nil {
+		return append(buf, read()...), nil
+	}
+	return append(buf, content...), nil
 }
 
 // WriteFile writes data to the file at p.
@@ -238,7 +308,7 @@ func (fs *FS) WriteFile(p, data string) error {
 		fs.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrIsDir, p)
 	}
-	if n.read != nil { // dynamic file
+	if n.dynamic() {
 		w := n.write
 		fs.mu.Unlock()
 		if w == nil {

@@ -1,0 +1,178 @@
+package placement
+
+import "sort"
+
+// Index is a free-capacity index over a set of integer node IDs: a
+// sorted bucket list keyed on remaining capacity (in the policy's unit),
+// with each bucket holding its node IDs in ascending order. It turns the
+// linear BestFit/WorstFit scans into an O(log N) binary search plus a
+// short candidate walk, while preserving the scans' results bit for bit:
+//
+//   - BestFit picks the feasible node with the smallest remaining
+//     capacity, ties broken by the lowest node ID — exactly the node an
+//     ascending (key, ID) walk reaches first.
+//   - WorstFit picks the largest remaining capacity, same tie-break —
+//     the first node of a descending-key walk.
+//
+// The capacity keys are the same float64 values the linear scans
+// compare. For the demands and capacities in range here (integer
+// vCPU·MHz products and vCPU counts well below 2^53, capacities a
+// single rounded product), key arithmetic is exact, so the pruning
+// bound "key < demand ⇒ the node cannot fit" is not merely
+// conservative but exact; callers still re-check full feasibility
+// (memory, per-vCPU frequency caps) through the ok callback.
+//
+// The index is not safe for concurrent use.
+type Index struct {
+	keys    []float64 // ascending, unique
+	buckets [][]int   // buckets[i]: IDs with key keys[i], ascending
+	nodeKey []float64 // current key per ID
+	present []bool
+	count   int
+	spare   [][]int // empty bucket freelist, reused to avoid allocation
+}
+
+// NewIndex creates an index accepting IDs in [0, n).
+func NewIndex(n int) *Index {
+	return &Index{
+		nodeKey: make([]float64, n),
+		present: make([]bool, n),
+	}
+}
+
+// Len returns the number of indexed IDs.
+func (ix *Index) Len() int { return ix.count }
+
+// Contains reports whether id is indexed.
+func (ix *Index) Contains(id int) bool {
+	return id >= 0 && id < len(ix.present) && ix.present[id]
+}
+
+// Key returns the key id was inserted with (0 if absent).
+func (ix *Index) Key(id int) float64 {
+	if !ix.Contains(id) {
+		return 0
+	}
+	return ix.nodeKey[id]
+}
+
+// Reset empties the index, keeping its storage — the full-rebuild path
+// for restores and policy changes: Reset, then re-Insert every live ID.
+func (ix *Index) Reset() {
+	for i, b := range ix.buckets {
+		ix.spare = append(ix.spare, b[:0])
+		ix.buckets[i] = nil
+	}
+	ix.keys = ix.keys[:0]
+	ix.buckets = ix.buckets[:0]
+	for i := range ix.present {
+		ix.present[i] = false
+	}
+	ix.count = 0
+}
+
+func (ix *Index) grow(id int) {
+	for len(ix.present) <= id {
+		ix.present = append(ix.present, false)
+		ix.nodeKey = append(ix.nodeKey, 0)
+	}
+}
+
+// Insert adds id with the given key. Inserting a present ID panics;
+// use Update.
+func (ix *Index) Insert(id int, key float64) {
+	if id < 0 {
+		panic("placement: negative index ID")
+	}
+	ix.grow(id)
+	if ix.present[id] {
+		panic("placement: ID already indexed")
+	}
+	ix.present[id] = true
+	ix.nodeKey[id] = key
+	ix.count++
+	i := sort.SearchFloat64s(ix.keys, key)
+	if i < len(ix.keys) && ix.keys[i] == key {
+		// Insert into the bucket keeping ascending ID order.
+		b := ix.buckets[i]
+		j := sort.SearchInts(b, id)
+		b = append(b, 0)
+		copy(b[j+1:], b[j:])
+		b[j] = id
+		ix.buckets[i] = b
+		return
+	}
+	var b []int
+	if n := len(ix.spare); n > 0 {
+		b = ix.spare[n-1]
+		ix.spare = ix.spare[:n-1]
+	}
+	b = append(b, id)
+	ix.keys = append(ix.keys, 0)
+	copy(ix.keys[i+1:], ix.keys[i:])
+	ix.keys[i] = key
+	ix.buckets = append(ix.buckets, nil)
+	copy(ix.buckets[i+1:], ix.buckets[i:])
+	ix.buckets[i] = b
+}
+
+// Remove deletes id. Removing an absent ID is a no-op.
+func (ix *Index) Remove(id int) {
+	if !ix.Contains(id) {
+		return
+	}
+	key := ix.nodeKey[id]
+	i := sort.SearchFloat64s(ix.keys, key)
+	b := ix.buckets[i]
+	j := sort.SearchInts(b, id)
+	b = append(b[:j], b[j+1:]...)
+	if len(b) == 0 {
+		ix.spare = append(ix.spare, b)
+		ix.keys = append(ix.keys[:i], ix.keys[i+1:]...)
+		ix.buckets = append(ix.buckets[:i], ix.buckets[i+1:]...)
+	} else {
+		ix.buckets[i] = b
+	}
+	ix.present[id] = false
+	ix.count--
+}
+
+// Update moves id to a new key (equivalent to Remove + Insert).
+func (ix *Index) Update(id int, key float64) {
+	if ix.Contains(id) {
+		if ix.nodeKey[id] == key {
+			return
+		}
+		ix.Remove(id)
+	}
+	ix.Insert(id, key)
+}
+
+// Best returns the lowest ID among the indexed nodes with the smallest
+// key ≥ min that satisfies ok, or -1 — the BestFit choice. ok is
+// consulted in (key ascending, ID ascending) order.
+func (ix *Index) Best(min float64, ok func(id int) bool) int {
+	for i := sort.SearchFloat64s(ix.keys, min); i < len(ix.keys); i++ {
+		for _, id := range ix.buckets[i] {
+			if ok(id) {
+				return id
+			}
+		}
+	}
+	return -1
+}
+
+// Worst returns the lowest ID among the indexed nodes with the largest
+// key ≥ min that satisfies ok, or -1 — the WorstFit choice. ok is
+// consulted in (key descending, ID ascending) order.
+func (ix *Index) Worst(min float64, ok func(id int) bool) int {
+	lo := sort.SearchFloat64s(ix.keys, min)
+	for i := len(ix.keys) - 1; i >= lo; i-- {
+		for _, id := range ix.buckets[i] {
+			if ok(id) {
+				return id
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,181 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refIndex is the obviously-correct reference: a flat map scanned
+// linearly with the same (key, ID) ordering contract as Index.
+type refIndex map[int]float64
+
+func (r refIndex) best(min float64, ok func(int) bool) int {
+	chosen := -1
+	for id, key := range r {
+		if key < min || !ok(id) {
+			continue
+		}
+		if chosen == -1 || key < r[chosen] || (key == r[chosen] && id < chosen) {
+			chosen = id
+		}
+	}
+	return chosen
+}
+
+func (r refIndex) worst(min float64, ok func(int) bool) int {
+	chosen := -1
+	for id, key := range r {
+		if key < min || !ok(id) {
+			continue
+		}
+		if chosen == -1 || key > r[chosen] || (key == r[chosen] && id < chosen) {
+			chosen = id
+		}
+	}
+	return chosen
+}
+
+func TestIndexBasics(t *testing.T) {
+	ix := NewIndex(4)
+	ix.Insert(2, 10)
+	ix.Insert(0, 10)
+	ix.Insert(1, 5)
+	ix.Insert(3, 20)
+	all := func(int) bool { return true }
+	if got := ix.Best(0, all); got != 1 {
+		t.Fatalf("Best(0) = %d, want 1 (smallest key)", got)
+	}
+	if got := ix.Best(6, all); got != 0 {
+		t.Fatalf("Best(6) = %d, want 0 (tie broken by lowest ID)", got)
+	}
+	if got := ix.Worst(0, all); got != 3 {
+		t.Fatalf("Worst(0) = %d, want 3 (largest key)", got)
+	}
+	if got := ix.Best(21, all); got != -1 {
+		t.Fatalf("Best(21) = %d, want -1 (nothing fits)", got)
+	}
+	if got := ix.Best(0, func(id int) bool { return id != 1 }); got != 0 {
+		t.Fatalf("Best with 1 infeasible = %d, want 0", got)
+	}
+	ix.Remove(1)
+	if ix.Contains(1) || ix.Len() != 3 {
+		t.Fatalf("after Remove: contains=%v len=%d", ix.Contains(1), ix.Len())
+	}
+	ix.Update(3, 1)
+	if got := ix.Best(0, all); got != 3 {
+		t.Fatalf("after Update: Best = %d, want 3", got)
+	}
+	ix.Reset()
+	if ix.Len() != 0 || ix.Best(0, all) != -1 {
+		t.Fatal("Reset did not empty the index")
+	}
+}
+
+func TestIndexRemoveAbsentIsNoop(t *testing.T) {
+	ix := NewIndex(2)
+	ix.Remove(0)
+	ix.Remove(7) // beyond capacity
+	ix.Insert(0, 1)
+	ix.Remove(0)
+	ix.Remove(0)
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ix.Len())
+	}
+}
+
+func TestIndexInsertPresentPanics(t *testing.T) {
+	ix := NewIndex(1)
+	ix.Insert(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Insert did not panic")
+		}
+	}()
+	ix.Insert(0, 2)
+}
+
+// TestIndexAgainstReference drives random op sequences against the
+// index and the linear reference and requires identical query results
+// throughout.
+func TestIndexAgainstReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndex(32)
+		ref := refIndex{}
+		for op := 0; op < 500; op++ {
+			id := rng.Intn(32)
+			key := float64(rng.Intn(40)) / 4
+			switch rng.Intn(5) {
+			case 0:
+				if _, ok := ref[id]; !ok {
+					ix.Insert(id, key)
+					ref[id] = key
+				}
+			case 1:
+				ix.Remove(id)
+				delete(ref, id)
+			case 2:
+				ix.Update(id, key)
+				ref[id] = key
+			default:
+				min := float64(rng.Intn(40)) / 4
+				mod := rng.Intn(3) + 1
+				ok := func(id int) bool { return id%mod != 0 || mod == 1 }
+				if got, want := ix.Best(min, ok), ref.best(min, ok); got != want {
+					t.Fatalf("seed %d op %d: Best(%v) = %d, want %d", seed, op, min, got, want)
+				}
+				if got, want := ix.Worst(min, ok), ref.worst(min, ok); got != want {
+					t.Fatalf("seed %d op %d: Worst(%v) = %d, want %d", seed, op, min, got, want)
+				}
+			}
+			if ix.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len = %d, want %d", seed, op, ix.Len(), len(ref))
+			}
+		}
+	}
+}
+
+// FuzzIndexTwin feeds byte-driven op sequences to the index and the
+// linear reference; any divergence in membership or BestFit/WorstFit
+// choice is a crash.
+func FuzzIndexTwin(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x43, 0x52})
+	f.Add([]byte{0x00, 0x10, 0x30, 0x20, 0x31, 0x41})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix := NewIndex(16)
+		ref := refIndex{}
+		for i := 0; i+1 < len(data); i += 2 {
+			id := int(data[i] % 16)
+			key := float64(data[i+1]) / 8
+			switch data[i] >> 4 & 3 {
+			case 0:
+				if _, ok := ref[id]; !ok {
+					ix.Insert(id, key)
+					ref[id] = key
+				}
+			case 1:
+				ix.Remove(id)
+				delete(ref, id)
+			case 2:
+				ix.Update(id, key)
+				ref[id] = key
+			case 3:
+				all := func(int) bool { return true }
+				if got, want := ix.Best(key, all), ref.best(key, all); got != want {
+					t.Fatalf("Best(%v) = %d, want %d", key, got, want)
+				}
+				if got, want := ix.Worst(key, all), ref.worst(key, all); got != want {
+					t.Fatalf("Worst(%v) = %d, want %d", key, got, want)
+				}
+			}
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", ix.Len(), len(ref))
+		}
+		for id := 0; id < 16; id++ {
+			if _, ok := ref[id]; ok != ix.Contains(id) {
+				t.Fatalf("membership of %d diverged", id)
+			}
+		}
+	})
+}

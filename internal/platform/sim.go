@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 
 	"vfreq/internal/cgroupfs"
 	"vfreq/internal/procfs"
@@ -10,14 +11,110 @@ import (
 )
 
 // Sim adapts a simulated machine to the Host interface. All reads go
-// through the emulated pseudo-files (string parsing included) so the
-// controller exercises the exact code paths it would use on Linux.
+// through the emulated pseudo-files (parsing included) so the controller
+// exercises the exact code paths it would use on Linux.
+//
+// The per-period read path is allocation-free at steady state: pseudo-file
+// paths are memoised (they are pure functions of VM name, vCPU index, tid
+// or core), file contents are rendered append-style into pooled buffers,
+// and the byte parsers walk them in place. Monitor workers read distinct
+// vCPUs concurrently, so the memo maps are RWMutex-guarded and buffers
+// come from a sync.Pool.
 type Sim struct {
 	mgr *vm.Manager
+
+	mu        sync.RWMutex
+	vcpuPaths map[vcpuKey]*simVCPUFiles
+	tidPaths  map[int]string
+	corePaths []string
+
+	bufs sync.Pool // *[]byte read buffers
+
+	vmScratch []VMInfo // ListVMs result, reused across calls
+}
+
+type vcpuKey struct {
+	vm   string
+	vcpu int
+}
+
+// simVCPUFiles caches the pseudo-file paths of one vCPU cgroup.
+type simVCPUFiles struct {
+	stat    string // cpu.stat
+	max     string // cpu.max
+	burst   string // cpu.max.burst
+	threads string // cgroup.threads
 }
 
 // NewSim wraps a VM manager.
-func NewSim(mgr *vm.Manager) *Sim { return &Sim{mgr: mgr} }
+func NewSim(mgr *vm.Manager) *Sim {
+	s := &Sim{
+		mgr:       mgr,
+		vcpuPaths: make(map[vcpuKey]*simVCPUFiles),
+		tidPaths:  make(map[int]string),
+	}
+	cores := mgr.Machine().Spec().Cores
+	s.corePaths = make([]string, cores)
+	for c := 0; c < cores; c++ {
+		s.corePaths[c] = sysfs.CurFreqPath(sysfs.Mount, c)
+	}
+	s.bufs.New = func() any {
+		p := new([]byte)
+		*p = make([]byte, 0, 256)
+		return p
+	}
+	return s
+}
+
+// files returns the memoised pseudo-file paths of a vCPU cgroup. Paths
+// are pure functions of (vm, vcpu), so entries are never invalidated —
+// a re-provisioned VM of the same name reuses them.
+func (s *Sim) files(vmName string, vcpu int) *simVCPUFiles {
+	k := vcpuKey{vm: vmName, vcpu: vcpu}
+	s.mu.RLock()
+	f := s.vcpuPaths[k]
+	s.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	base := cgroupfs.DefaultMount + "/" + vm.VCPUCgroup(vmName, vcpu)
+	f = &simVCPUFiles{
+		stat:    base + "/cpu.stat",
+		max:     base + "/cpu.max",
+		burst:   base + "/cpu.max.burst",
+		threads: base + "/cgroup.threads",
+	}
+	s.mu.Lock()
+	if old := s.vcpuPaths[k]; old != nil {
+		f = old
+	} else {
+		s.vcpuPaths[k] = f
+	}
+	s.mu.Unlock()
+	return f
+}
+
+// tidPath returns the memoised /proc/<tid>/stat path.
+func (s *Sim) tidPath(tid int) string {
+	s.mu.RLock()
+	p := s.tidPaths[tid]
+	s.mu.RUnlock()
+	if p != "" {
+		return p
+	}
+	p = fmt.Sprintf("%s/%d/stat", procfs.Mount, tid)
+	s.mu.Lock()
+	s.tidPaths[tid] = p
+	s.mu.Unlock()
+	return p
+}
+
+func (s *Sim) getBuf() *[]byte { return s.bufs.Get().(*[]byte) }
+
+func (s *Sim) putBuf(p *[]byte, buf []byte) {
+	*p = buf[:0]
+	s.bufs.Put(p)
+}
 
 // Node implements Host.
 func (s *Sim) Node() NodeInfo {
@@ -25,33 +122,35 @@ func (s *Sim) Node() NodeInfo {
 	return NodeInfo{Name: spec.Name, Cores: spec.Cores, MaxFreqMHz: spec.MaxMHz}
 }
 
-// ListVMs implements Host.
+// ListVMs implements Host. The returned slice is reused by the next
+// call; callers must not retain it.
 func (s *Sim) ListVMs() ([]VMInfo, error) {
 	insts := s.mgr.List()
-	out := make([]VMInfo, len(insts))
-	for i, inst := range insts {
+	out := s.vmScratch[:0]
+	for _, inst := range insts {
 		t := inst.Template()
-		out[i] = VMInfo{Name: inst.Name(), VCPUs: t.VCPUs, FreqMHz: t.FreqMHz}
+		out = append(out, VMInfo{Name: inst.Name(), VCPUs: t.VCPUs, FreqMHz: t.FreqMHz})
 	}
+	s.vmScratch = out
 	return out, nil
-}
-
-func (s *Sim) vcpuPath(vmName string, vcpu int) string {
-	return cgroupfs.DefaultMount + "/" + vm.VCPUCgroup(vmName, vcpu)
 }
 
 // UsageUs implements Host.
 func (s *Sim) UsageUs(vmName string, vcpu int) (int64, error) {
-	content, err := s.mgr.Machine().FS.ReadFile(s.vcpuPath(vmName, vcpu) + "/cpu.stat")
+	p := s.getBuf()
+	content, err := s.mgr.Machine().FS.ReadFileAppend(s.files(vmName, vcpu).stat, (*p)[:0])
 	if err != nil {
+		s.putBuf(p, content)
 		return 0, fmt.Errorf("platform: reading cpu.stat of %s/vcpu%d: %w", vmName, vcpu, err)
 	}
-	return cgroupfs.ParseCPUStat(content, "usage_usec")
+	v, err := cgroupfs.ParseCPUStatBytes(content, "usage_usec")
+	s.putBuf(p, content)
+	return v, err
 }
 
 // SetMax implements Host.
 func (s *Sim) SetMax(vmName string, vcpu int, quotaUs, periodUs int64) error {
-	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max",
+	return s.mgr.Machine().FS.WriteFile(s.files(vmName, vcpu).max,
 		fmt.Sprintf("%d %d", quotaUs, periodUs))
 }
 
@@ -73,7 +172,7 @@ func (s *Sim) BatchSetMax(vmName string, quotas []VCPUQuota) error {
 // ReadMax implements QuotaReader: it reads the vCPU's cpu.max back
 // through the pseudo-file, exactly as the controller would on Linux.
 func (s *Sim) ReadMax(vmName string, vcpu int) (int64, int64, error) {
-	content, err := s.mgr.Machine().FS.ReadFile(s.vcpuPath(vmName, vcpu) + "/cpu.max")
+	content, err := s.mgr.Machine().FS.ReadFile(s.files(vmName, vcpu).max)
 	if err != nil {
 		return 0, 0, fmt.Errorf("platform: reading cpu.max of %s/vcpu%d: %w", vmName, vcpu, err)
 	}
@@ -89,39 +188,46 @@ func (s *Sim) ReadMax(vmName string, vcpu int) (int64, int64, error) {
 
 // ClearMax implements Host.
 func (s *Sim) ClearMax(vmName string, vcpu int) error {
-	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max", "max")
+	return s.mgr.Machine().FS.WriteFile(s.files(vmName, vcpu).max, "max")
 }
 
 // SetBurst implements Host.
 func (s *Sim) SetBurst(vmName string, vcpu int, burstUs int64) error {
-	return s.mgr.Machine().FS.WriteFile(s.vcpuPath(vmName, vcpu)+"/cpu.max.burst",
+	return s.mgr.Machine().FS.WriteFile(s.files(vmName, vcpu).burst,
 		fmt.Sprintf("%d", burstUs))
 }
 
 // ThreadID implements Host.
 func (s *Sim) ThreadID(vmName string, vcpu int) (int, error) {
-	content, err := s.mgr.Machine().FS.ReadFile(s.vcpuPath(vmName, vcpu) + "/cgroup.threads")
+	p := s.getBuf()
+	content, err := s.mgr.Machine().FS.ReadFileAppend(s.files(vmName, vcpu).threads, (*p)[:0])
+	if err != nil {
+		s.putBuf(p, content)
+		return 0, err
+	}
+	tid, n, err := cgroupfs.ParseSingleTID(content)
+	s.putBuf(p, content)
 	if err != nil {
 		return 0, err
 	}
-	ids, err := cgroupfs.ParseTIDs(content)
-	if err != nil {
-		return 0, err
-	}
-	if len(ids) != 1 {
+	if n != 1 {
 		return 0, fmt.Errorf("platform: vCPU cgroup %s/vcpu%d holds %d threads, want 1",
-			vmName, vcpu, len(ids))
+			vmName, vcpu, n)
 	}
-	return ids[0], nil
+	return tid, nil
 }
 
 // LastCPU implements Host.
 func (s *Sim) LastCPU(tid int) (int, error) {
-	line, err := s.mgr.Machine().FS.ReadFile(fmt.Sprintf("%s/%d/stat", procfs.Mount, tid))
+	p := s.getBuf()
+	line, err := s.mgr.Machine().FS.ReadFileAppend(s.tidPath(tid), (*p)[:0])
 	if err != nil {
+		s.putBuf(p, line)
 		return 0, err
 	}
-	return procfs.ParseStatLastCPU(line)
+	cpu, err := procfs.ParseStatLastCPUBytes(line)
+	s.putBuf(p, line)
+	return cpu, err
 }
 
 // CoreNodes implements Topology: it reads the emulated
@@ -159,11 +265,17 @@ func (s *Sim) CoreNodes() ([]int, error) {
 
 // CoreFreqMHz implements Host.
 func (s *Sim) CoreFreqMHz(core int) (int64, error) {
-	content, err := s.mgr.Machine().FS.ReadFile(sysfs.CurFreqPath(sysfs.Mount, core))
+	if core < 0 || core >= len(s.corePaths) {
+		return 0, fmt.Errorf("platform: core %d out of range", core)
+	}
+	p := s.getBuf()
+	content, err := s.mgr.Machine().FS.ReadFileAppend(s.corePaths[core], (*p)[:0])
 	if err != nil {
+		s.putBuf(p, content)
 		return 0, err
 	}
-	khz, err := sysfs.ParseKHz(content)
+	khz, err := sysfs.ParseKHzBytes(content)
+	s.putBuf(p, content)
 	if err != nil {
 		return 0, err
 	}

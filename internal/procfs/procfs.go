@@ -90,8 +90,8 @@ func (t *Table) Register(th *sched.Thread, comm string) error {
 	if err := t.fs.MkdirAll(dir); err != nil {
 		return err
 	}
-	if err := t.fs.AddDynamic(dir+"/stat", func() string {
-		return FormatStat(th.ID, comm, th.UsageUs, th.LastCPU)
+	if err := t.fs.AddDynamicAppend(dir+"/stat", func(buf []byte) []byte {
+		return AppendStat(buf, th.ID, comm, th.UsageUs, th.LastCPU)
 	}, nil); err != nil {
 		return err
 	}
@@ -123,6 +123,33 @@ func FormatStat(tid int, comm string, usageUs int64, lastCPU int) string {
 	}
 	fields[38] = strconv.Itoa(cpu) // processor
 	return strings.Join(fields, " ") + "\n"
+}
+
+// AppendStat appends the same line FormatStat renders to buf and returns
+// the extended slice, so the per-period placement read allocates nothing.
+func AppendStat(buf []byte, tid int, comm string, usageUs int64, lastCPU int) []byte {
+	ticks := usageUs / 10_000 // USER_HZ = 100
+	cpu := lastCPU
+	if cpu < 0 {
+		cpu = 0
+	}
+	buf = strconv.AppendInt(buf, int64(tid), 10)
+	buf = append(buf, " ("...)
+	buf = append(buf, comm...)
+	buf = append(buf, ") R"...)
+	for i := 3; i < 52; i++ {
+		switch i {
+		case 13: // utime
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, ticks, 10)
+		case 38: // processor
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(cpu), 10)
+		default:
+			buf = append(buf, " 0"...)
+		}
+	}
+	return append(buf, '\n')
 }
 
 // ParseStatLastCPU extracts the processor field from a stat line,

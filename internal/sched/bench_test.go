@@ -33,6 +33,7 @@ func BenchmarkTick200VMs(b *testing.B) { benchTick(b, 200, 4, 0) }
 func BenchmarkTickQuota50VMs(b *testing.B) { benchTick(b, 50, 4, 25_000) }
 
 func BenchmarkWaterfill(b *testing.B) {
+	s := New(64)
 	ents := make([]*entity, 128)
 	for i := range ents {
 		ents[i] = &entity{weight: int64(i%7)*50 + 50, need: int64(i%13)*1000 + 500}
@@ -42,7 +43,7 @@ func BenchmarkWaterfill(b *testing.B) {
 		for _, e := range ents {
 			e.got = 0
 		}
-		waterfill(ents, 200_000)
+		s.waterfill(ents, 200_000)
 	}
 }
 

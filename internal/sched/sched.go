@@ -124,6 +124,25 @@ type Scheduler struct {
 	// load averages over 1/5/15 minutes of the runnable thread count
 	// (/proc/loadavg).
 	load1, load5, load15 float64
+
+	// Scratch reused across Ticks so a steady-state Tick performs no
+	// heap allocation (the cluster-scale benchmarks step thousands of
+	// simulated machines per period, and before this reuse the fluid
+	// scheduler dominated the whole control plane's allocation profile).
+	runnableScratch []*Thread
+	allocScratch    []Alloc
+	orderScratch    []int
+	activeScratch   []*entity
+	levels          []levelScratch
+}
+
+// levelScratch is the per-recursion-depth entity storage of allocate:
+// the entity values for one group's children plus the pointer slice
+// waterfill filters. One level is reused by every group at that depth
+// (allocation within a level finishes before the recursion descends).
+type levelScratch struct {
+	vals []entity
+	ptrs []*entity
 }
 
 // New creates a scheduler for a machine with the given number of logical
@@ -339,7 +358,8 @@ type entity struct {
 // over runnable threads. It returns the per-thread allocations. The caller
 // is responsible for invoking thread OnRun callbacks with core
 // frequencies; Tick itself updates usage counters, bandwidth windows and
-// thread placement.
+// thread placement. The returned slice is reused by the next Tick, so
+// callers must consume (or copy) it before advancing again.
 func (s *Scheduler) Tick(dtUs int64) []Alloc {
 	if dtUs <= 0 {
 		panic("sched: dt must be positive")
@@ -347,14 +367,15 @@ func (s *Scheduler) Tick(dtUs int64) []Alloc {
 	s.refreshWindows(s.root, dtUs)
 
 	// Gather demands.
-	var runnable []*Thread
+	runnable := s.runnableScratch[:0]
 	s.collectDemands(s.root, dtUs, &runnable)
+	s.runnableScratch = runnable
 
 	capacity := dtUs * int64(s.Cores)
-	s.allocate(s.root, capacity, dtUs)
+	s.allocate(s.root, capacity, dtUs, 0)
 
 	// Record usage, build allocations, place threads on cores.
-	allocs := make([]Alloc, 0, len(runnable))
+	allocs := s.allocScratch[:0]
 	for _, t := range runnable {
 		if t.got < 0 {
 			panic("sched: negative allocation")
@@ -369,6 +390,7 @@ func (s *Scheduler) Tick(dtUs int64) []Alloc {
 		}
 		allocs = append(allocs, Alloc{Thread: t, RanUs: t.got})
 	}
+	s.allocScratch = allocs
 	s.placeOnCores(allocs, dtUs)
 	s.recordThrottling(s.root, dtUs)
 	for c, l := range s.coreLoadUs {
@@ -489,19 +511,25 @@ func (g *Group) need() int64 {
 
 // allocate distributes capacity µs of CPU time within group g using
 // weighted max-min fairness over its children (sub-groups and direct
-// threads). dtUs bounds each thread at one core.
-func (s *Scheduler) allocate(g *Group, capacity, dtUs int64) {
+// threads). dtUs bounds each thread at one core. depth indexes the
+// per-level entity scratch: sibling groups share a level and recursion
+// into a child uses the next one, so no allocation survives warm-up.
+func (s *Scheduler) allocate(g *Group, capacity, dtUs int64, depth int) {
 	if q := g.quotaRemaining(); capacity > q {
 		capacity = q
 	}
 	if capacity <= 0 {
 		return
 	}
-	// Build child entities.
-	ents := make([]*entity, 0, len(g.Children)+len(g.Threads))
+	if depth == len(s.levels) {
+		s.levels = append(s.levels, levelScratch{})
+	}
+	// Build child entities in the level's value slice first; pointers
+	// are taken only once the slice has stopped growing.
+	vals := s.levels[depth].vals[:0]
 	for _, t := range g.Threads {
 		if n := t.want - t.got; n > 0 {
-			ents = append(ents, &entity{thread: t, weight: DefaultWeight, need: n})
+			vals = append(vals, entity{thread: t, weight: DefaultWeight, need: n})
 		}
 	}
 	for _, c := range g.Children {
@@ -510,13 +538,19 @@ func (s *Scheduler) allocate(g *Group, capacity, dtUs int64) {
 			if w <= 0 {
 				w = DefaultWeight
 			}
-			ents = append(ents, &entity{group: c, weight: w, need: n})
+			vals = append(vals, entity{group: c, weight: w, need: n})
 		}
 	}
-	if len(ents) == 0 {
+	s.levels[depth].vals = vals
+	if len(vals) == 0 {
 		return
 	}
-	waterfill(ents, capacity)
+	ents := s.levels[depth].ptrs[:0]
+	for i := range vals {
+		ents = append(ents, &vals[i])
+	}
+	s.levels[depth].ptrs = ents
+	s.waterfill(ents, capacity)
 	for _, e := range ents {
 		if e.got == 0 {
 			continue
@@ -524,17 +558,20 @@ func (s *Scheduler) allocate(g *Group, capacity, dtUs int64) {
 		if e.thread != nil {
 			e.thread.got += e.got
 		} else {
-			s.allocate(e.group, e.got, dtUs)
+			s.allocate(e.group, e.got, dtUs, depth+1)
 		}
 	}
 }
 
 // waterfill distributes capacity among entities by weighted max-min
 // fairness with exact integer conservation: Σ got ≤ capacity, got ≤ need,
-// and no entity can gain without another losing.
-func waterfill(ents []*entity, capacity int64) {
-	active := make([]*entity, len(ents))
-	copy(active, ents)
+// and no entity can gain without another losing. The active list lives in
+// a single scheduler-wide scratch: a waterfill completes before allocate
+// recurses, so nested calls never overlap on it.
+func (s *Scheduler) waterfill(ents []*entity, capacity int64) {
+	active := s.activeScratch[:0]
+	active = append(active, ents...)
+	s.activeScratch = active
 	for capacity > 0 && len(active) > 0 {
 		var sumW int64
 		for _, e := range active {
@@ -565,10 +602,18 @@ func waterfill(ents []*entity, capacity int64) {
 		if !progress {
 			// Integer shares rounded to zero: hand out the
 			// remainder one microsecond at a time, highest
-			// weight first.
-			sort.SliceStable(active, func(i, j int) bool {
-				return active[i].weight > active[j].weight
-			})
+			// weight first. Stable insertion sort: same order as
+			// sort.SliceStable by descending weight, without its
+			// closure and swapper allocations.
+			for i := 1; i < len(active); i++ {
+				e := active[i]
+				j := i - 1
+				for j >= 0 && active[j].weight < e.weight {
+					active[j+1] = active[j]
+					j--
+				}
+				active[j+1] = e
+			}
 			for capacity > 0 && len(active) > 0 {
 				next := active[:0]
 				for _, e := range active {
@@ -596,13 +641,24 @@ func (s *Scheduler) placeOnCores(allocs []Alloc, dtUs int64) {
 		s.coreLoadUs[i] = 0
 	}
 	// Largest allocations first gives first-fit-decreasing packing.
-	order := make([]int, len(allocs))
-	for i := range order {
-		order[i] = i
+	// Stable insertion sort over a reused index slice: identical order
+	// to sort.SliceStable by descending RanUs, with no per-tick
+	// allocation.
+	order := s.orderScratch[:0]
+	for i := range allocs {
+		order = append(order, i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return allocs[order[a]].RanUs > allocs[order[b]].RanUs
-	})
+	s.orderScratch = order
+	for i := 1; i < len(order); i++ {
+		oi := order[i]
+		v := allocs[oi].RanUs
+		j := i - 1
+		for j >= 0 && allocs[order[j]].RanUs < v {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = oi
+	}
 	for _, idx := range order {
 		a := &allocs[idx]
 		t := a.Thread

@@ -36,8 +36,16 @@ func MountModel(fs *memfs.FS, m *dvfs.Model, mount string) error {
 		if err := fs.MkdirAll(dir); err != nil {
 			return err
 		}
+		// scaling_cur_freq is read once per vCPU per period by the
+		// monitor stage, so it renders append-style to the caller's
+		// buffer; the cold policy files stay string-based.
+		if err := fs.AddDynamicAppend(dir+"/scaling_cur_freq", func(buf []byte) []byte {
+			buf = strconv.AppendInt(buf, m.FreqKHz(c), 10)
+			return append(buf, '\n')
+		}, nil); err != nil {
+			return err
+		}
 		files := map[string]memfs.ReadFunc{
-			"scaling_cur_freq": func() string { return fmt.Sprintf("%d\n", m.FreqKHz(c)) },
 			"scaling_min_freq": func() string { return fmt.Sprintf("%d\n", m.Policy().MinMHz*1000) },
 			"scaling_max_freq": func() string {
 				max := m.Policy().MaxMHz

@@ -15,6 +15,8 @@ type Series struct {
 	Name   string
 	Times  []float64 // seconds
 	Values []float64
+
+	sortScratch []float64 // reused by MedianRange/PercentileRange
 }
 
 // Add appends a point.
@@ -58,21 +60,30 @@ func (s *Series) MeanRange(from, to float64) float64 {
 // robust plateau estimator, insensitive to the periodic synchronisation
 // notches of the benchmark workloads.
 func (s *Series) MedianRange(from, to float64) float64 {
-	var vals []float64
-	for i, t := range s.Times {
-		if t >= from && t < to {
-			vals = append(vals, s.Values[i])
-		}
-	}
+	vals := s.rangeSorted(from, to)
 	if len(vals) == 0 {
 		return 0
 	}
-	sort.Float64s(vals)
 	mid := len(vals) / 2
 	if len(vals)%2 == 1 {
 		return vals[mid]
 	}
 	return (vals[mid-1] + vals[mid]) / 2
+}
+
+// rangeSorted copies the values with Times in [from, to) into the
+// series' reused scratch slice and sorts them ascending, so the
+// quantile estimators do not allocate a fresh copy per call.
+func (s *Series) rangeSorted(from, to float64) []float64 {
+	vals := s.sortScratch[:0]
+	for i, t := range s.Times {
+		if t >= from && t < to {
+			vals = append(vals, s.Values[i])
+		}
+	}
+	sort.Float64s(vals)
+	s.sortScratch = vals
+	return vals
 }
 
 // Sum returns the sum of all values — for counter-like series (faults,
@@ -130,16 +141,10 @@ func (s *Series) Min() float64 {
 // PercentileRange returns the p-quantile (0 ≤ p ≤ 1) of values with Times
 // in [from, to), using nearest-rank interpolation.
 func (s *Series) PercentileRange(p, from, to float64) float64 {
-	var vals []float64
-	for i, t := range s.Times {
-		if t >= from && t < to {
-			vals = append(vals, s.Values[i])
-		}
-	}
+	vals := s.rangeSorted(from, to)
 	if len(vals) == 0 {
 		return 0
 	}
-	sort.Float64s(vals)
 	if p <= 0 {
 		return vals[0]
 	}
@@ -178,6 +183,8 @@ func (s *Series) Smooth(alpha float64) *Series {
 type Recorder struct {
 	series map[string]*Series
 	order  []string
+
+	nameScratch []string // reused by RecordAll's per-call sort
 }
 
 // NewRecorder creates an empty recorder.
@@ -201,7 +208,7 @@ func (r *Recorder) Record(name string, t, v float64) {
 // the natural sink for per-step status structs (e.g. a controller's
 // degradation report fanned out as time series).
 func (r *Recorder) RecordAll(t float64, values map[string]float64) {
-	names := make([]string, 0, len(values))
+	names := r.nameScratch[:0]
 	for n := range values {
 		names = append(names, n)
 	}
@@ -209,6 +216,7 @@ func (r *Recorder) RecordAll(t float64, values map[string]float64) {
 	for _, n := range names {
 		r.Record(n, t, values[n])
 	}
+	r.nameScratch = names[:0]
 }
 
 // Series returns the named series, or nil.

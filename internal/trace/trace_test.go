@@ -174,3 +174,50 @@ func TestMedianRange(t *testing.T) {
 		t.Fatalf("empty median = %v", got)
 	}
 }
+
+// TestQuantileScratchReuse pins the reused-sort-scratch behaviour of
+// MedianRange/PercentileRange: interleaved calls over different windows
+// must not see each other's scratch contents, and repeated calls must
+// not allocate a fresh copy each time.
+func TestQuantileScratchReuse(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(99-i))
+	}
+	m1 := s.MedianRange(0, 100)
+	p1 := s.PercentileRange(0.9, 0, 50)
+	m2 := s.MedianRange(0, 100)
+	if m1 != m2 {
+		t.Fatalf("MedianRange changed across interleaved calls: %v then %v", m1, m2)
+	}
+	if p2 := s.PercentileRange(0.9, 0, 50); p1 != p2 {
+		t.Fatalf("PercentileRange changed across interleaved calls: %v then %v", p1, p2)
+	}
+	if got := s.MedianRange(200, 300); got != 0 {
+		t.Fatalf("empty window median = %v, want 0", got)
+	}
+	allocs := testing.AllocsPerRun(20, func() { s.PercentileRange(0.5, 0, 100) })
+	if allocs > 0 {
+		t.Fatalf("warm PercentileRange allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRecordAllScratchReuse verifies RecordAll keeps recording the same
+// values in sorted-name order while reusing its name scratch.
+func TestRecordAllScratchReuse(t *testing.T) {
+	r := NewRecorder()
+	vals := map[string]float64{"b": 2, "a": 1, "c": 3}
+	for step := 0; step < 5; step++ {
+		r.RecordAll(float64(step), vals)
+	}
+	names := r.Names()
+	want := []string{"a", "b", "c"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+		if got := r.Series(n).Len(); got != 5 {
+			t.Fatalf("series %s has %d points, want 5", n, got)
+		}
+	}
+}

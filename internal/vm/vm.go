@@ -78,6 +78,7 @@ type Manager struct {
 	machine   *host.Machine
 	instances map[string]*Instance
 	order     []string
+	list      []*Instance // List() cache, rebuilt on Provision/Destroy
 }
 
 // NewManager creates a manager and the machine.slice cgroup.
@@ -153,6 +154,7 @@ func (mg *Manager) Provision(name string, tpl Template, srcs []workload.Source) 
 	inst.emulator = em
 	mg.instances[name] = inst
 	mg.order = append(mg.order, name)
+	mg.list = append(mg.list, inst)
 	return inst, nil
 }
 
@@ -247,6 +249,7 @@ func (mg *Manager) Destroy(name string) error {
 	for i, n := range mg.order {
 		if n == name {
 			mg.order = append(mg.order[:i], mg.order[i+1:]...)
+			mg.list = append(mg.list[:i], mg.list[i+1:]...)
 			break
 		}
 	}
@@ -256,13 +259,11 @@ func (mg *Manager) Destroy(name string) error {
 // Get returns the instance with the given name, or nil.
 func (mg *Manager) Get(name string) *Instance { return mg.instances[name] }
 
-// List returns all instances in provisioning order.
+// List returns all instances in provisioning order. The returned slice
+// is owned by the manager and valid until the next Provision or Destroy;
+// callers must not mutate or retain it.
 func (mg *Manager) List() []*Instance {
-	out := make([]*Instance, 0, len(mg.order))
-	for _, n := range mg.order {
-		out = append(out, mg.instances[n])
-	}
-	return out
+	return mg.list
 }
 
 // Name returns the instance name.
