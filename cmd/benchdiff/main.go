@@ -32,10 +32,10 @@ import (
 
 // defaultBench selects the perf-tracked benchmarks: the full-step and
 // cluster macro benchmarks plus the stage micro benchmarks.
-const defaultBench = "Fig2ControllerStep|ControllerOverhead|DynamicCluster|MonitorStage|ApplyStage|AuctionSharded|SteadyStep|EstimateEnforce|ClusterScale"
+const defaultBench = "Fig2ControllerStep|ControllerOverhead|DynamicCluster|MonitorStage|ApplyStage|AuctionSharded|SteadyStep|EstimateEnforce|ClusterScale|MetricsRecord"
 
 // defaultPkgs holds the packages that define those benchmarks.
-var defaultPkgs = []string{".", "./internal/core", "./internal/cluster"}
+var defaultPkgs = []string{".", "./internal/core", "./internal/cluster", "./internal/metrics"}
 
 // Result is one benchmark line: the iteration count plus every
 // value-unit pair go test printed (ns/op, B/op, allocs/op, custom

@@ -25,10 +25,18 @@ import (
 	"vfreq/internal/core"
 	"vfreq/internal/experiments"
 	"vfreq/internal/host"
+	"vfreq/internal/metrics"
+	"vfreq/internal/metricshttp"
 	"vfreq/internal/placement"
 	"vfreq/internal/report"
 	"vfreq/internal/sched"
+	"vfreq/internal/trace"
 )
+
+// metricsReg collects the run's controller/cluster series; every
+// experiment built through withWorkers (and the dynamic/chaos runners)
+// is armed on it. Served at -metrics-addr and dumped by -metrics-dump.
+var metricsReg = metrics.NewRegistry()
 
 // Concurrency knobs (flags): results are identical at any setting, only
 // wall-clock moves.
@@ -67,11 +75,27 @@ func main() {
 	flag.Int64Var(&chaosSeed, "chaos-seed", 1, "seed of the chaos soak (plans, workloads, churn)")
 	flag.IntVar(&chaosVMs, "chaos-vms", 4, "VM population of the chaos soak")
 	flag.BoolVar(&chaosChurn, "chaos-churn", false, "destroy/re-provision a VM every chaos epoch")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus text exposition at /metrics and pprof at /debug/pprof/ on this address (e.g. localhost:9090) for the duration of the run")
+	metricsDump := flag.Bool("metrics-dump", false,
+		"append the run's metrics exposition to stdout as '# '-prefixed comment lines")
 	flag.Parse()
 
+	if *metricsAddr != "" {
+		bound, err := metricshttp.Serve(*metricsAddr, metricsReg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiment: metrics at http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
 	if err := run(*id, *scale, *csv, *width); err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
 		os.Exit(1)
+	}
+	if *metricsDump {
+		fmt.Println("# metrics")
+		_ = metricsReg.WriteText(trace.NewCommentWriter(os.Stdout, "# "))
 	}
 }
 
@@ -92,6 +116,7 @@ func withWorkers(e experiments.FreqExperiment) experiments.FreqExperiment {
 	if estimateShards >= 0 {
 		e.Config.EstimateShards = estimateShards
 	}
+	e.Metrics = metricsReg
 	return e
 }
 
@@ -365,6 +390,7 @@ func dynamicTable() error {
 		Seed:              42,
 		FailThreshold:     3,
 		StepWorkers:       workers,
+		Metrics:           metricsReg,
 	}
 	fmt.Println("Dynamic cluster (Poisson arrivals, exponential lifetimes, idle nodes off):")
 	fmt.Printf("  %-28s %-9s %-9s %-10s %-12s %-12s\n",
@@ -427,10 +453,11 @@ func chaosSoak() error {
 	fmt.Printf("Chaos soak — %d steps, seed %d, %d VMs, churn %v:\n",
 		chaosSteps, chaosSeed, chaosVMs, chaosChurn)
 	res, err := chaos.Soak(chaos.Options{
-		Seed:  chaosSeed,
-		Steps: chaosSteps,
-		VMs:   chaosVMs,
-		Churn: chaosChurn,
+		Seed:    chaosSeed,
+		Steps:   chaosSteps,
+		VMs:     chaosVMs,
+		Churn:   chaosChurn,
+		Metrics: metricsReg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

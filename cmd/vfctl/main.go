@@ -45,6 +45,8 @@ import (
 	"vfreq/internal/cluster"
 	"vfreq/internal/core"
 	"vfreq/internal/host"
+	"vfreq/internal/metrics"
+	"vfreq/internal/metricshttp"
 	"vfreq/internal/platform"
 	"vfreq/internal/trace"
 	"vfreq/internal/vm"
@@ -169,6 +171,8 @@ func main() {
 		"estimate/enforce shard count (-1 = serial, N = forced; 0 defers to the scenario, which defaults to following -auction-shards)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus text exposition at /metrics and pprof at /debug/pprof/ on this address (e.g. localhost:9090) for the duration of the run")
 	flag.Parse()
 
 	if *example {
@@ -219,19 +223,29 @@ func main() {
 		sc.StepWorkers = *stepWorkers
 	}
 	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
+	// The registry is always armed — the end-of-run dump rides on the
+	// CSV either way — and additionally served over HTTP when asked.
+	reg := metrics.NewRegistry()
+	if *metricsAddr != "" {
+		addr, merr := metricshttp.Serve(*metricsAddr, reg)
+		if merr != nil {
+			fatal(merr)
+		}
+		fmt.Fprintf(os.Stderr, "vfctl: metrics at http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
 	switch {
 	case *linux:
 		if sc.Nodes >= 2 {
 			fatal(fmt.Errorf("cluster mode (nodes >= 2) is simulation-only"))
 		}
-		err = runLinux(sc, ck)
+		err = runLinux(sc, ck, reg)
 	case sc.Nodes >= 2:
 		if ck.path != "" || *snapPath != "" {
 			fatal(fmt.Errorf("cluster mode does not support -checkpoint or -snapshot yet"))
 		}
-		err = runSimCluster(sc, *csvPath)
+		err = runSimCluster(sc, *csvPath, reg)
 	default:
-		err = runSim(sc, *csvPath, *snapPath, ck)
+		err = runSim(sc, *csvPath, *snapPath, ck, reg)
 	}
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -455,7 +469,16 @@ func faultHost(sc Scenario, h platform.Host) (platform.Host, error) {
 	return fh, nil
 }
 
-func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
+// dumpMetrics appends the registry's full text exposition to the CSV
+// stream as "# "-prefixed comment lines, so headless runs keep the
+// observability data inside the run artefact without corrupting the
+// table.
+func dumpMetrics(out *os.File, reg *metrics.Registry) {
+	fmt.Fprintln(out, "# metrics")
+	_ = reg.WriteText(trace.NewCommentWriter(out, "# "))
+}
+
+func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts, reg *metrics.Registry) error {
 	spec, err := nodeSpec(sc)
 	if err != nil {
 		return err
@@ -493,6 +516,10 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 	ctrl, err := core.New(h, cfg)
 	if err != nil {
 		return err
+	}
+	ctrl.ArmMetrics(reg)
+	if fh, ok := h.(*platform.FaultyHost); ok {
+		fh.ArmMetrics(reg)
 	}
 	if _, err := ck.arm(ctrl); err != nil {
 		return err
@@ -559,6 +586,7 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 			"halfopen_vms":   float64(rep.HalfOpenVMs),
 		})
 	}
+	dumpMetrics(out, reg)
 	fmt.Fprintf(os.Stderr, "vfctl: %d periods, controller avg step %v\n",
 		ctrl.Steps(), ctrl.LastTimings().Total)
 	if f := health.Series("faults"); f != nil && f.Sum() > 0 {
@@ -592,7 +620,7 @@ func runSim(sc Scenario, csvPath, snapPath string, ck checkpointOpts) error {
 // cluster's worker pool, and the CSV reports cluster-level health plus
 // cluster_step_us — the wall time of each cluster Step, the
 // decision-latency figure the pool and the placement index bound.
-func runSimCluster(sc Scenario, csvPath string) error {
+func runSimCluster(sc Scenario, csvPath string, reg *metrics.Registry) error {
 	spec, err := nodeSpec(sc)
 	if err != nil {
 		return err
@@ -613,6 +641,7 @@ func runSimCluster(sc Scenario, csvPath string) error {
 		return err
 	}
 	defer cl.Close()
+	cl.ArmMetrics(reg)
 	for _, v := range sc.VMs {
 		srcs, err := buildWorkload(v)
 		if err != nil {
@@ -657,6 +686,7 @@ func runSimCluster(sc Scenario, csvPath string) error {
 			h.Faults, h.EvacuatedVMs, h.StrandedVMs, e-prevEnergy)
 		prevEnergy = e
 	}
+	dumpMetrics(out, reg)
 	fmt.Fprintf(os.Stderr, "vfctl: %d periods over %d nodes, cluster avg step %d µs\n",
 		sc.DurationS, sc.Nodes, stepUsSum/int64(sc.DurationS))
 	return nil
@@ -664,7 +694,7 @@ func runSimCluster(sc Scenario, csvPath string) error {
 
 // runLinux drives a real host: same controller, real files, wall-clock
 // periods.
-func runLinux(sc Scenario, ck checkpointOpts) error {
+func runLinux(sc Scenario, ck checkpointOpts, reg *metrics.Registry) error {
 	freqs := map[string]int64{}
 	for _, v := range sc.VMs {
 		freqs[v.Name] = v.FreqMHz
@@ -681,6 +711,7 @@ func runLinux(sc Scenario, ck checkpointOpts) error {
 	if err != nil {
 		return err
 	}
+	ctrl.ArmMetrics(reg)
 	resumed, err := ck.arm(ctrl)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"vfreq/internal/metrics"
 	"vfreq/internal/workload"
 )
 
@@ -120,7 +121,7 @@ func TestRunSimProducesCSV(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.csv")
 	snap := filepath.Join(dir, "snap.json")
-	if err := runSim(sc, out, snap, checkpointOpts{}); err != nil {
+	if err := runSim(sc, out, snap, checkpointOpts{}, metrics.NewRegistry()); err != nil {
 		t.Fatal(err)
 	}
 	// The snapshot is valid JSON with both VMs.
@@ -139,9 +140,9 @@ func TestRunSimProducesCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	lines, comments := splitCSV(string(data))
 	if len(lines) != 6 { // header + 5 periods
-		t.Fatalf("CSV has %d lines, want 6:\n%s", len(lines), data)
+		t.Fatalf("CSV has %d data lines, want 6:\n%s", len(lines), data)
 	}
 	if !strings.HasPrefix(lines[0], "time_s,web_mhz,web_credit,batch_mhz,batch_credit") {
 		t.Fatalf("header = %q", lines[0])
@@ -151,6 +152,26 @@ func TestRunSimProducesCSV(t *testing.T) {
 			t.Fatalf("ragged CSV row %q", line)
 		}
 	}
+	// The end-of-run metrics dump rides on the CSV as comment lines.
+	joined := strings.Join(comments, "\n")
+	for _, want := range []string{"vfreq_steps_total 5", `vfreq_step_stage_us_count{stage="monitor"} 5`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// splitCSV separates a run artefact into CSV data lines and "# "
+// comment lines (the appended metrics dump).
+func splitCSV(data string) (rows, comments []string) {
+	for _, line := range strings.Split(strings.TrimSpace(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			comments = append(comments, line)
+			continue
+		}
+		rows = append(rows, line)
+	}
+	return rows, comments
 }
 
 func TestRunSimValidatesVMs(t *testing.T) {
@@ -158,7 +179,7 @@ func TestRunSimValidatesVMs(t *testing.T) {
 		Node: "chetemi", DurationS: 1, Control: true,
 		VMs: []ScenarioVM{{Name: "bad", VCPUs: 0, FreqMHz: 500, Workload: "busy"}},
 	}
-	if err := runSim(sc, filepath.Join(t.TempDir(), "x.csv"), "", checkpointOpts{}); err == nil {
+	if err := runSim(sc, filepath.Join(t.TempDir(), "x.csv"), "", checkpointOpts{}, metrics.NewRegistry()); err == nil {
 		t.Fatal("invalid VM accepted")
 	}
 }

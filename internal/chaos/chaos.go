@@ -16,6 +16,7 @@ import (
 
 	"vfreq/internal/core"
 	"vfreq/internal/host"
+	"vfreq/internal/metrics"
 	"vfreq/internal/platform"
 	"vfreq/internal/vm"
 	"vfreq/internal/workload"
@@ -47,6 +48,10 @@ type Options struct {
 	Quiet bool
 	// Logf, when set, receives progress lines (one per epoch).
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the soak's observability: the
+	// controller and fault-host instruments plus epoch/churn/step-error
+	// counters, so a scraped soak shows its progress live.
+	Metrics *metrics.Registry
 }
 
 // Result summarises a completed soak.
@@ -153,6 +158,17 @@ func Soak(o Options) (Result, error) {
 		return Result{}, err
 	}
 
+	// Soak-level counters; the controller and fault host record their
+	// own series on the same registry.
+	var epochsC, churnC, stepErrC *metrics.Counter
+	if o.Metrics != nil {
+		ctrl.ArmMetrics(o.Metrics)
+		fh.ArmMetrics(o.Metrics)
+		epochsC = o.Metrics.Counter("vfreq_chaos_epochs_total", "Fault-plan re-rolls during the soak.")
+		churnC = o.Metrics.Counter("vfreq_chaos_churn_total", "VM destroy/provision events during the soak.")
+		stepErrC = o.Metrics.Counter("vfreq_chaos_step_errors_total", "Whole-step failures (injected ListVMs faults).")
+	}
+
 	var res Result
 	listArmed := false
 
@@ -164,6 +180,7 @@ func Soak(o Options) (Result, error) {
 				listArmed, armed = rollPlans(fh, rng)
 			}
 			res.Epochs++
+			epochsC.Inc()
 			if o.Churn {
 				i := rng.Intn(o.VMs)
 				if provisioned[i] {
@@ -175,12 +192,15 @@ func Soak(o Options) (Result, error) {
 				}
 				provisioned[i] = !provisioned[i]
 				res.Churned++
+				churnC.Inc()
 			}
 			logf("chaos: epoch %d at step %d: %d sites armed (listvms=%v)", res.Epochs, step, armed, listArmed)
 		}
+		prevErrs := res.StepErrors
 		if err := soakStep(machine, ctrl, &res, listArmed, step); err != nil {
 			return res, err
 		}
+		stepErrC.Add(int64(res.StepErrors - prevErrs))
 	}
 	for _, site := range platform.Sites {
 		res.Delays += fh.Delayed(site)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vfreq/internal/core"
 	"vfreq/internal/host"
@@ -210,6 +211,10 @@ type Cluster struct {
 	// values map handed to trace.Recorder.RecordAll.
 	seriesNames [][2]string
 	healthVals  map[string]float64
+
+	// met, when armed via ArmMetrics, receives every finished Step;
+	// nil (the default) records nothing.
+	met *clusterMetrics
 }
 
 // New boots one machine per spec.
@@ -709,6 +714,10 @@ func (c *Cluster) runStep(idx int) {
 // constraint as initial placement. A failed node re-admits itself after
 // one clean Step.
 func (c *Cluster) Step() error {
+	var t0 time.Time
+	if c.met != nil {
+		t0 = time.Now()
+	}
 	period := c.cfg.Controller.PeriodUs
 	if workers := c.stepWorkerCount(); workers > 1 {
 		c.ensurePool(workers)
@@ -774,6 +783,9 @@ func (c *Cluster) Step() error {
 	c.failedNodes = failed
 	err := errors.Join(errs...)
 	c.errScratch = errs[:0]
+	if c.met != nil {
+		c.recordStep(time.Since(t0).Microseconds())
+	}
 	return err
 }
 
@@ -784,6 +796,10 @@ func (c *Cluster) Step() error {
 // Step regardless, so joules burnt while idle are discarded rather than
 // attributed to the first period after a deployment.
 func (c *Cluster) stepNode(n *Node, period int64) {
+	var t0 time.Time
+	if c.met != nil {
+		t0 = time.Now()
+	}
 	n.Machine.Advance(period)
 	n.LastErr = n.Ctrl.Step()
 	n.LastReport = n.Ctrl.LastReport()
@@ -813,6 +829,10 @@ func (c *Cluster) stepNode(n *Node, period int64) {
 	}
 	n.healthDelta = part.sub(n.healthPart)
 	n.healthPart = part
+	if c.met != nil {
+		// Shared histogram, concurrent nodes: Observe is atomic-only.
+		c.met.nodeStepUs.Observe(time.Since(t0).Microseconds())
+	}
 }
 
 // evacuate moves every VM off a failed node, choosing BestFit targets

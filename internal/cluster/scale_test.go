@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"vfreq/internal/host"
+	"vfreq/internal/metrics"
 	"vfreq/internal/placement"
 	"vfreq/internal/vm"
 )
@@ -29,6 +30,11 @@ func buildScaleCluster(tb testing.TB, nodes, vmsPerNode, workers, warmup int) *C
 	if err != nil {
 		tb.Fatal(err)
 	}
+	// Armed in every scale test and benchmark: the whole observability
+	// layer — cluster gauges, the shared node-step histogram and every
+	// node controller's stage histograms — must cost zero steady-state
+	// allocations.
+	c.ArmMetrics(metrics.NewRegistry())
 	for i := 0; i < nodes*vmsPerNode; i++ {
 		if _, err := c.Deploy(fmt.Sprintf("vm%05d", i), vm.Small(), busy(vm.Small().VCPUs)); err != nil {
 			tb.Fatal(err)

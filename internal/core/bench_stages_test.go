@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"vfreq/internal/metrics"
 	"vfreq/internal/platform"
 )
 
@@ -81,6 +82,9 @@ func benchController(tb testing.TB, vms, vcpus, workers int) *Controller {
 	if err != nil {
 		tb.Fatal(err)
 	}
+	// The metrics registry is armed in every benchmark and zero-alloc
+	// gate: recording a finished StepReport must cost nothing.
+	c.ArmMetrics(metrics.NewRegistry())
 	for i := 0; i < 8; i++ {
 		if err := c.Step(); err != nil {
 			tb.Fatal(err)
@@ -286,6 +290,7 @@ func TestStepShardedZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.ArmMetrics(metrics.NewRegistry())
 	for i := 0; i < 8; i++ {
 		if err := c.Step(); err != nil {
 			t.Fatal(err)

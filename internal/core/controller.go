@@ -116,6 +116,10 @@ type Controller struct {
 	// Config.CheckpointEvery completed Steps.
 	store platform.Store
 
+	// met, when armed via ArmMetrics, receives every finished
+	// StepReport; nil (the default) records nothing.
+	met *ctrlMetrics
+
 	// coreNode maps each logical CPU to its NUMA node, discovered once
 	// from the host's optional platform.Topology capability; nil when
 	// the host exposes none. numaNodes is the discovered node count
@@ -493,6 +497,9 @@ func (c *Controller) Step() error {
 		c.steps++
 		c.maybeCheckpoint(&rep)
 		c.report = rep // pick up Checkpointed and any checkpoint fault
+	}
+	if c.met != nil {
+		c.met.recordStep(&rep)
 	}
 	return err
 }

@@ -126,8 +126,15 @@ func (r StepReport) String() string {
 	s := fmt.Sprintf("step %d: %d VMs, %d/%d vCPUs healthy, %d degraded, %d faults (+%d added, -%d removed, ~%d reconfigured)",
 		r.Step, r.VMs, r.HealthyVCPUs, r.VCPUs, r.DegradedVCPUs, r.FaultCount(),
 		len(r.Added), len(r.Removed), len(r.Reconfigured))
-	if r.OpenVMs > 0 || r.HalfOpenVMs > 0 {
-		s += fmt.Sprintf(" [breakers: %d open, %d half-open]", r.OpenVMs, r.HalfOpenVMs)
+	if r.Retries > 0 {
+		s += fmt.Sprintf(" [%d retries]", r.Retries)
+	}
+	if r.Recovered > 0 {
+		s += fmt.Sprintf(" [%d vCPUs recovered]", r.Recovered)
+	}
+	if r.OpenVMs > 0 || r.HalfOpenVMs > 0 || r.BreakerTrips > 0 {
+		s += fmt.Sprintf(" [breakers: %d open, %d half-open, %d tripped]",
+			r.OpenVMs, r.HalfOpenVMs, r.BreakerTrips)
 	}
 	if r.Panicked {
 		s += " [panicked]"

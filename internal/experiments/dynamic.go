@@ -8,6 +8,7 @@ import (
 
 	"vfreq/internal/cluster"
 	"vfreq/internal/host"
+	"vfreq/internal/metrics"
 	"vfreq/internal/placement"
 	"vfreq/internal/vm"
 	"vfreq/internal/workload"
@@ -38,6 +39,9 @@ type DynamicClusterExperiment struct {
 	// cluster.Config.StepWorkers): 0 picks GOMAXPROCS, 1 steps serially.
 	// Results are bit-identical at any setting; only wall-clock moves.
 	StepWorkers int
+	// Metrics, when non-nil, receives the cluster and per-node
+	// controller series for the run.
+	Metrics *metrics.Registry
 }
 
 // DynamicResult summarises a dynamic run.
@@ -84,6 +88,9 @@ func (e DynamicClusterExperiment) Run() (*DynamicResult, error) {
 		return nil, err
 	}
 	defer cl.Close()
+	if e.Metrics != nil {
+		cl.ArmMetrics(e.Metrics)
+	}
 	rng := rand.New(rand.NewSource(e.Seed))
 	templates := []vm.Template{vm.Small(), vm.Medium(), vm.Large()}
 	type liveVM struct {

@@ -15,6 +15,7 @@ import (
 
 	"vfreq/internal/core"
 	"vfreq/internal/host"
+	"vfreq/internal/metrics"
 	"vfreq/internal/platform"
 	"vfreq/internal/trace"
 	"vfreq/internal/vm"
@@ -56,6 +57,9 @@ type FreqExperiment struct {
 	DurationUs int64
 	TickUs     int64       // scheduler tick; 0 = host default
 	Config     core.Config // zero value = DefaultConfig
+	// Metrics, when non-nil, receives the controller's per-stage
+	// latency histograms and fault/degradation counters for the run.
+	Metrics *metrics.Registry
 }
 
 // FreqResult aggregates an experiment's outputs.
@@ -158,6 +162,9 @@ func (e FreqExperiment) Run() (*FreqResult, error) {
 	ctrl, err := core.New(platform.NewSim(mgr), cfg)
 	if err != nil {
 		return nil, err
+	}
+	if e.Metrics != nil {
+		ctrl.ArmMetrics(e.Metrics)
 	}
 	res.Controller = ctrl
 

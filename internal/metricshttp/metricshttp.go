@@ -1,0 +1,44 @@
+// Package metricshttp serves a metrics.Registry over HTTP alongside
+// the standard pprof handlers. It exists so internal/metrics itself
+// never imports net/http: the binaries (vfctl, experiment) opt into
+// the network surface with one call, headless runs pay nothing.
+package metricshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"vfreq/internal/metrics"
+)
+
+// Handler returns an http.Handler exposing reg at /metrics and the
+// pprof suite at /debug/pprof/ on an explicit mux (the default mux is
+// never touched, so tests can mount several registries side by side).
+func Handler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) in a background goroutine.
+// It returns the bound address (useful with ":0") or an error if the
+// listen fails; serve errors after a successful bind are dropped, as
+// the observability side-channel must never take down a run.
+func Serve(addr string, reg *metrics.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

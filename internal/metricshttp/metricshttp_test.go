@@ -1,0 +1,62 @@
+package metricshttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"vfreq/internal/metrics"
+)
+
+// TestServeExposesMetricsAndPprof is the in-process version of the
+// acceptance check "curl -metrics-addr yields valid Prometheus text":
+// bind :0, scrape /metrics, and confirm the pprof index answers.
+func TestServeExposesMetricsAndPprof(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("vfreq_http_total", "scrape test", metrics.Label{Key: "stage", Value: "apply"}).Add(3)
+	reg.Histogram("vfreq_http_us", "scrape test", metrics.DefaultLatencyBucketsUs).Observe(123)
+
+	addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`vfreq_http_total{stage="apply"} 3`,
+		`# TYPE vfreq_http_us histogram`,
+		`vfreq_http_us_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	pp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", metrics.NewRegistry()); err == nil {
+		t.Fatal("want listen error for a bad address")
+	}
+}

@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIndexRebuildMatchesIncremental pins the rebuild fallback: an index
+// reconstructed with Reset + re-Insert (the restore/policy-change path)
+// must answer Best and Worst bit-identically to the incrementally
+// maintained twin, whatever order the rebuild re-inserts the live IDs
+// in. A drift here would make a restored cluster place VMs differently
+// from one that never crashed.
+func TestIndexRebuildMatchesIncremental(t *testing.T) {
+	const n = 48
+	rng := rand.New(rand.NewSource(11))
+	inc := NewIndex(n)
+	keys := make([]float64, n)
+	live := make([]bool, n)
+
+	// Keys are the integer-valued capacities the real policies produce
+	// (vCPU·MHz products), drawn from a small set to force bucket
+	// collisions and the ascending-ID tie-break.
+	draw := func() float64 { return float64(rng.Intn(12)) * 100 }
+
+	rebuild := func(ix *Index) {
+		ix.Reset()
+		order := rng.Perm(n)
+		for _, id := range order {
+			if live[id] {
+				ix.Insert(id, keys[id])
+			}
+		}
+	}
+
+	compare := func(step int) {
+		reb := NewIndex(n)
+		rebuild(reb)
+		if reb.Len() != inc.Len() {
+			t.Fatalf("step %d: rebuilt Len = %d, incremental %d", step, reb.Len(), inc.Len())
+		}
+		preds := []struct {
+			name string
+			ok   func(id int) bool
+		}{
+			{"all", func(id int) bool { return true }},
+			{"even", func(id int) bool { return id%2 == 0 }},
+			{"none", func(id int) bool { return false }},
+		}
+		for _, min := range []float64{0, 50, 100, 350, 600, 1100, 2000} {
+			for _, p := range preds {
+				if a, b := inc.Best(min, p.ok), reb.Best(min, p.ok); a != b {
+					t.Fatalf("step %d: Best(%g, %s) incremental=%d rebuilt=%d",
+						step, min, p.name, a, b)
+				}
+				if a, b := inc.Worst(min, p.ok), reb.Worst(min, p.ok); a != b {
+					t.Fatalf("step %d: Worst(%g, %s) incremental=%d rebuilt=%d",
+						step, min, p.name, a, b)
+				}
+			}
+		}
+		for id := 0; id < n; id++ {
+			if inc.Contains(id) != reb.Contains(id) || inc.Key(id) != reb.Key(id) {
+				t.Fatalf("step %d: ID %d diverged: incremental (%v, %g) rebuilt (%v, %g)",
+					step, id, inc.Contains(id), inc.Key(id), reb.Contains(id), reb.Key(id))
+			}
+		}
+	}
+
+	for step := 0; step < 600; step++ {
+		id := rng.Intn(n)
+		switch op := rng.Intn(3); {
+		case op == 0 && !live[id]: // insert
+			keys[id] = draw()
+			live[id] = true
+			inc.Insert(id, keys[id])
+		case op == 1 && live[id]: // remove
+			live[id] = false
+			inc.Remove(id)
+		default: // update (inserts when absent, like the cluster's path)
+			keys[id] = draw()
+			live[id] = true
+			inc.Update(id, keys[id])
+		}
+		if step%37 == 0 || step == 599 {
+			compare(step)
+		}
+	}
+}

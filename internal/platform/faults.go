@@ -125,6 +125,10 @@ type FaultyHost struct {
 	delayed  map[FaultSite]int
 	calls    map[FaultSite]int
 
+	// met, when armed via ArmMetrics, mirrors the per-site tallies into
+	// pre-interned counters; nil records nothing.
+	met map[FaultSite]*siteMetrics
+
 	// sleep stalls the calling goroutine for an injected delay;
 	// replaceable by tests that only want to observe the decision.
 	sleep func(time.Duration)
@@ -221,6 +225,8 @@ func (f *FaultyHost) decide(site FaultSite, vm string, vcpu int) (time.Duration,
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.calls[site]++
+	m := f.met[site]
+	m.recordCall()
 	p := f.plans[site]
 	if p == nil {
 		return 0, nil
@@ -236,6 +242,7 @@ func (f *FaultyHost) decide(site FaultSite, vm string, vcpu int) (time.Duration,
 		us := half + f.rng.Int63n(p.DelayUs-half+1)
 		delay = time.Duration(us) * time.Microsecond
 		f.delayed[site]++
+		m.recordDelay()
 	}
 	fire := p.Persistent
 	if !fire && p.Count > 0 {
@@ -249,6 +256,7 @@ func (f *FaultyHost) decide(site FaultSite, vm string, vcpu int) (time.Duration,
 		return delay, nil
 	}
 	f.injected[site]++
+	m.recordInjected()
 	if p.Err != nil {
 		return delay, fmt.Errorf("%s %s/vcpu%d: %w", site, vm, vcpu, p.Err)
 	}

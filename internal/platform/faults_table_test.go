@@ -1,0 +1,74 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSiteByNameRoundTrip checks every published call site resolves back
+// to itself, and that an unknown name's error lists all valid sites —
+// the error message is user-facing (vfctl fault_sites) and must stay a
+// complete catalogue.
+func TestSiteByNameRoundTrip(t *testing.T) {
+	for _, site := range Sites {
+		got, err := SiteByName(string(site))
+		if err != nil {
+			t.Errorf("SiteByName(%q) error: %v", site, err)
+			continue
+		}
+		if got != site {
+			t.Errorf("SiteByName(%q) = %q, want round-trip", site, got)
+		}
+	}
+	_, err := SiteByName("Frobnicate")
+	if err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	for _, site := range Sites {
+		if !strings.Contains(err.Error(), string(site)) {
+			t.Errorf("unknown-site error does not list %q: %v", site, err)
+		}
+	}
+}
+
+// TestFaultPlanValidateTable walks every rejection path of
+// FaultPlan.Validate plus the canonical accepted shapes.
+func TestFaultPlanValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    FaultPlan
+		wantErr string // empty = plan is valid
+	}{
+		{"rate probability", FaultPlan{Rate: 0.5}, ""},
+		{"transient count", FaultPlan{Count: 3}, ""},
+		{"persistent", FaultPlan{Persistent: true}, ""},
+		{"pure latency", FaultPlan{DelayRate: 0.2, DelayUs: 500}, ""},
+		{"errors plus latency", FaultPlan{Rate: 1, DelayRate: 1, DelayUs: 100}, ""},
+		{"rate above one", FaultPlan{Rate: 1.5}, "outside [0, 1]"},
+		{"negative rate", FaultPlan{Rate: -0.1}, "outside [0, 1]"},
+		{"negative count", FaultPlan{Count: -1}, "is negative"},
+		{"delay rate above one", FaultPlan{DelayRate: 2, DelayUs: 100}, "outside [0, 1]"},
+		{"negative delay bound", FaultPlan{Rate: 0.5, DelayUs: -5}, "is negative"},
+		{"delay rate without bound", FaultPlan{DelayRate: 0.5}, "needs a positive DelayUs"},
+		{"delay bound without rate", FaultPlan{Rate: 0.5, DelayUs: 100}, "needs a positive DelayRate"},
+		{"inert", FaultPlan{}, "can never fire"},
+		{"inert with match", FaultPlan{Match: func(string, int) bool { return true }}, "can never fire"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid plan rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid plan accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package trace
+
+import "io"
+
+// CommentWriter is an io.Writer that prefixes every line it forwards
+// with a comment marker, so a metrics dump (or any multi-line report)
+// can be appended to a CSV stream without corrupting the table: CSV
+// consumers skip the prefixed lines, while the data survives in the
+// same artefact. Partial lines across Write calls are handled — the
+// prefix is inserted exactly once per output line.
+type CommentWriter struct {
+	w       io.Writer
+	prefix  []byte
+	midline bool
+}
+
+// NewCommentWriter wraps w, prefixing each forwarded line with prefix
+// (e.g. "# ").
+func NewCommentWriter(w io.Writer, prefix string) *CommentWriter {
+	return &CommentWriter{w: w, prefix: []byte(prefix)}
+}
+
+// Write implements io.Writer. The returned count covers p only, as the
+// io.Writer contract requires; prefix bytes are not counted.
+func (c *CommentWriter) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		if !c.midline {
+			if _, err := c.w.Write(c.prefix); err != nil {
+				return written, err
+			}
+			c.midline = true
+		}
+		end := len(p)
+		for i, b := range p {
+			if b == '\n' {
+				end = i + 1
+				break
+			}
+		}
+		n, err := c.w.Write(p[:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if p[end-1] == '\n' {
+			c.midline = false
+		}
+		p = p[end:]
+	}
+	return written, nil
+}

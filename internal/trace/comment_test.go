@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCommentWriterPrefixesLines(t *testing.T) {
+	var b strings.Builder
+	w := NewCommentWriter(&b, "# ")
+	if _, err := w.Write([]byte("alpha\nbeta\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "# alpha\n# beta\n"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestCommentWriterSplitWrites pins the once-per-line prefix contract
+// when a line arrives across several Write calls and when a Write ends
+// mid-line.
+func TestCommentWriterSplitWrites(t *testing.T) {
+	var b strings.Builder
+	w := NewCommentWriter(&b, "# ")
+	for _, chunk := range []string{"al", "pha\nbe", "ta\n", "tail"} {
+		if _, err := w.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := b.String(), "# alpha\n# beta\n# tail"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestCommentWriterEmptyWrite(t *testing.T) {
+	var b strings.Builder
+	w := NewCommentWriter(&b, "# ")
+	n, err := w.Write(nil)
+	if n != 0 || err != nil {
+		t.Fatalf("empty write: n=%d err=%v", n, err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty write produced output %q", b.String())
+	}
+}
