@@ -52,8 +52,9 @@ var (
 var (
 	chaosSteps int
 	chaosSeed  int64
-	chaosVMs   int
-	chaosChurn bool
+	chaosVMs       int
+	chaosChurn     bool
+	rebalanceEvery int
 )
 
 func main() {
@@ -71,6 +72,8 @@ func main() {
 		"cluster step worker-pool size for the dynamic experiment (0 = GOMAXPROCS, 1 = serial; -1 keeps the serial default)")
 	flag.BoolVar(&parallelCluster, "parallel", false,
 		"deprecated: equivalent to -step-workers 0")
+	flag.IntVar(&rebalanceEvery, "rebalance-every", 0,
+		"steps between rebalance sweeps in the dynamic experiment (0 = never); sweeps live-migrate VMs off overloaded nodes, carrying controller state")
 	flag.IntVar(&chaosSteps, "chaos-steps", 5000, "fault-phase length of the chaos soak")
 	flag.Int64Var(&chaosSeed, "chaos-seed", 1, "seed of the chaos soak (plans, workloads, churn)")
 	flag.IntVar(&chaosVMs, "chaos-vms", 4, "VM population of the chaos soak")
@@ -390,6 +393,7 @@ func dynamicTable() error {
 		Seed:              42,
 		FailThreshold:     3,
 		StepWorkers:       workers,
+		RebalanceEvery:    rebalanceEvery,
 		Metrics:           metricsReg,
 	}
 	fmt.Println("Dynamic cluster (Poisson arrivals, exponential lifetimes, idle nodes off):")
@@ -420,6 +424,10 @@ func dynamicTable() error {
 		if res.NodeFailureSteps > 0 || res.Evacuations > 0 {
 			fmt.Printf("    failures: %d node-failure steps, %d VMs evacuated, %d stranded VM-steps\n",
 				res.NodeFailureSteps, res.Evacuations, res.StrandedVMSteps)
+		}
+		if res.Rebalanced > 0 {
+			fmt.Printf("    rebalance: %d VMs moved (of %d migrations)\n",
+				res.Rebalanced, res.Migrations)
 		}
 	}
 	return nil

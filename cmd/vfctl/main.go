@@ -74,6 +74,13 @@ type Scenario struct {
 	// are identical at any setting). The -step-workers flag overrides it.
 	Nodes       int `json:"nodes,omitempty"`
 	StepWorkers int `json:"step_workers,omitempty"`
+	// RebalanceEvery sweeps overloaded nodes every that many periods
+	// (cluster mode only; 0 = never). Each sweep live-migrates VMs off
+	// Eq. 7-infeasible nodes, carrying their controller state — credit
+	// wallets, consumption histories, breaker phases — to the target;
+	// stranded VMs are reported on stderr and retried next sweep. The
+	// -rebalance-every flag overrides it.
+	RebalanceEvery int `json:"rebalance_every,omitempty"`
 
 	// Controller overrides (zero values keep the paper defaults).
 	IncreaseTrigger float64 `json:"increase_trigger,omitempty"`
@@ -165,6 +172,8 @@ func main() {
 		"monitor read-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario)")
 	stepWorkers := flag.Int("step-workers", -1,
 		"cluster step worker-pool size (0 = GOMAXPROCS, 1 = serial; -1 defers to the scenario; needs nodes >= 2)")
+	rebalanceEvery := flag.Int("rebalance-every", -1,
+		"periods between cluster rebalance sweeps (0 = never; -1 defers to the scenario; needs nodes >= 2)")
 	auctionShards := flag.Int("auction-shards", 0,
 		"auction shard count (-1 = one per NUMA node, N = forced; 0 defers to the scenario)")
 	estimateShards := flag.Int("estimate-shards", 0,
@@ -221,6 +230,9 @@ func main() {
 	}
 	if *stepWorkers >= 0 {
 		sc.StepWorkers = *stepWorkers
+	}
+	if *rebalanceEvery >= 0 {
+		sc.RebalanceEvery = *rebalanceEvery
 	}
 	ck := checkpointOpts{path: *ckptPath, every: *ckptEvery, resume: *resume}
 	// The registry is always armed — the end-of-run dump rides on the
@@ -668,10 +680,19 @@ func runSimCluster(sc Scenario, csvPath string, reg *metrics.Registry) error {
 		defer f.Close()
 		out = f
 	}
-	fmt.Fprintln(out, "time_s,cluster_step_us,used_nodes,failed_nodes,degraded_vcpus,faults,evacuated_vms,stranded_vms,energy_j")
+	fmt.Fprintln(out, "time_s,cluster_step_us,used_nodes,failed_nodes,degraded_vcpus,faults,evacuated_vms,stranded_vms,migrations,energy_j")
 	var prevEnergy float64
 	var stepUsSum int64
 	for step := 0; step < sc.DurationS; step++ {
+		if sc.RebalanceEvery > 0 && step > 0 && step%sc.RebalanceEvery == 0 {
+			// The sweep continues past stranded VMs; they stay put and
+			// are retried next sweep, so the error is advisory.
+			if moved, rerr := cl.Rebalance(); rerr != nil {
+				fmt.Fprintf(os.Stderr, "vfctl: rebalance at t=%d moved %d VM(s): %v\n", step, moved, rerr)
+			} else if moved > 0 {
+				fmt.Fprintf(os.Stderr, "vfctl: rebalance at t=%d moved %d VM(s)\n", step, moved)
+			}
+		}
 		start := time.Now()
 		// Node failures are isolated by the cluster — the surviving
 		// nodes were stepped — so an error shows up in failed_nodes
@@ -681,9 +702,9 @@ func runSimCluster(sc Scenario, csvPath string, reg *metrics.Registry) error {
 		stepUsSum += stepUs
 		h := cl.Health()
 		e := cl.ActiveEnergyJoules()
-		fmt.Fprintf(out, "%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+		fmt.Fprintf(out, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
 			step+1, stepUs, cl.UsedNodes(), h.FailedNodes, h.DegradedVCPUs,
-			h.Faults, h.EvacuatedVMs, h.StrandedVMs, e-prevEnergy)
+			h.Faults, h.EvacuatedVMs, h.StrandedVMs, cl.Migrations(), e-prevEnergy)
 		prevEnergy = e
 	}
 	dumpMetrics(out, reg)

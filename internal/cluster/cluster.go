@@ -178,6 +178,7 @@ type Cluster struct {
 	cfg        Config
 	nodes      []*Node
 	migrations int
+	migStats   MigrationStats
 	locations  map[string]int // VM name → node index
 
 	evacuations   int // cumulative VMs moved off failed nodes
@@ -427,8 +428,8 @@ func (c *Cluster) choose(tpl vm.Template) (int, error) {
 	return chosen, nil
 }
 
-// provisionOn places the VM on a specific node, bypassing admission (used
-// by Deploy and by migration).
+// provisionOn places the VM on a specific node, bypassing admission
+// (used by Deploy; Migrate runs its own prepare→commit bookkeeping).
 func (c *Cluster) provisionOn(idx int, name string, tpl vm.Template, sources []workload.Source) error {
 	n := c.nodes[idx]
 	if _, err := n.Manager.Provision(name, tpl, sources); err != nil {
@@ -463,33 +464,113 @@ func (c *Cluster) Undeploy(name string) error {
 	return nil
 }
 
-// Migrate moves a VM to another node. The workload sources carry their
-// own state, so the VM resumes where it left off (the benchmark does not
-// restart); the vCPU usage counters restart from zero on the target, as
-// they do after a real migration.
-func (c *Cluster) Migrate(name string, target int) error {
+// MigrationStats counts migration outcomes since the cluster booted.
+// Attempted covers every Migrate call that passed validation and tried
+// to move (no-ops excluded); Committed those where the VM now runs on
+// the target; RolledBack those where a prepared target was destroyed
+// again after the source-side commit failed (an attempt that fails
+// before preparing anything — infeasible target, provision error —
+// counts only in Attempted). StateCarried counts committed migrations
+// whose controller state (credits, histories, breaker) was adopted on
+// the target rather than cold-started.
+type MigrationStats struct {
+	Attempted    int
+	Committed    int
+	RolledBack   int
+	StateCarried int
+}
+
+// MigrationStats returns the migration outcome counters.
+func (c *Cluster) MigrationStats() MigrationStats { return c.migStats }
+
+// Migrate moves a VM to another node in a prepare→commit sequence that
+// can never lose the VM:
+//
+//   - prepare: the VM is provisioned on the target while still running
+//     on the source. If that fails, nothing changed — the VM keeps
+//     running where it was and the cluster state is untouched.
+//   - commit: the source copy is destroyed. If that fails, the prepared
+//     target copy is destroyed again (rolled back) and the VM stays on
+//     the source.
+//
+// On commit the source controller's state for the VM — its credit
+// wallet, consumption histories and breaker phase — is exported and
+// adopted by the target node's controller, so the control loop resumes
+// on the target instead of restarting from scratch; if the adoption
+// fails (the target host faulting mid-migration) the target controller
+// registers the VM cold on its next Step, which only forfeits history.
+// The workload sources carry their own state, so the VM's benchmark
+// resumes where it left off; the vCPU usage counters restart from zero
+// on the target, as they do after a real migration.
+//
+// Migrating a VM onto the node it already occupies is a documented
+// no-op: Migrate returns (false, nil) without touching the VM or any
+// counter, so Rebalance accounting stays exact. moved is true exactly
+// when the VM changed nodes (and Migrations grew by one).
+func (c *Cluster) Migrate(name string, target int) (moved bool, err error) {
 	src, ok := c.locations[name]
 	if !ok {
-		return fmt.Errorf("cluster: no VM %q", name)
+		return false, fmt.Errorf("cluster: no VM %q", name)
 	}
 	if target < 0 || target >= len(c.nodes) {
-		return fmt.Errorf("cluster: no node %d", target)
+		return false, fmt.Errorf("cluster: no node %d", target)
 	}
 	if target == src {
-		return nil
+		return false, nil
 	}
-	d := c.nodes[src].deployed[name]
-	if !c.fits(c.nodes[target], d.template) {
-		return fmt.Errorf("cluster: node %d cannot host %q", target, name)
+	c.migStats.Attempted++
+	if c.met != nil {
+		c.met.migAttempted.Inc()
 	}
-	if err := c.Undeploy(name); err != nil {
-		return err
+	from, to := c.nodes[src], c.nodes[target]
+	d := from.deployed[name]
+	if !c.fits(to, d.template) {
+		return false, fmt.Errorf("cluster: node %d cannot host %q", target, name)
 	}
-	if err := c.provisionOn(target, name, d.template, d.sources); err != nil {
-		return err
+	// Export the controller state up front: it reads nothing from the
+	// (possibly failing) source host. A controller that never learned
+	// the VM (deployed but not yet stepped) has nothing to carry; the
+	// move still proceeds.
+	snap, exportErr := from.Ctrl.ExportVM(name)
+	// Prepare.
+	if _, err := to.Manager.Provision(name, d.template, d.sources); err != nil {
+		return false, fmt.Errorf("cluster: preparing %q on node %d: %w", name, target, err)
 	}
+	// Commit.
+	if err := from.Manager.Destroy(name); err != nil {
+		c.migStats.RolledBack++
+		if c.met != nil {
+			c.met.migRolledBack.Inc()
+		}
+		if rbErr := to.Manager.Destroy(name); rbErr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: rolling back %q on node %d: %w", name, target, rbErr))
+		}
+		return false, fmt.Errorf("cluster: migrating %q off node %d: %w", name, src, err)
+	}
+	delete(from.deployed, name)
+	from.usedFreq -= int64(d.template.VCPUs) * d.template.FreqMHz
+	from.usedVC -= d.template.VCPUs
+	from.usedMem -= d.template.MemoryGB
+	c.reindex(from)
+	to.deployed[name] = d
+	to.usedFreq += int64(d.template.VCPUs) * d.template.FreqMHz
+	to.usedVC += d.template.VCPUs
+	to.usedMem += d.template.MemoryGB
+	c.reindex(to)
+	c.locations[name] = target
+	from.Ctrl.ForgetVM(name)
 	c.migrations++
-	return nil
+	c.migStats.Committed++
+	if c.met != nil {
+		c.met.migCommitted.Inc()
+	}
+	if exportErr == nil && to.Ctrl.AdoptVM(snap) == nil {
+		c.migStats.StateCarried++
+		if c.met != nil {
+			c.met.migStateCarried.Inc()
+		}
+	}
+	return true, nil
 }
 
 // Resize live-reconfigures a deployed VM to a new template — the
@@ -573,9 +654,14 @@ func (c *Cluster) Overloaded() []int {
 
 // Rebalance migrates VMs away from overloaded nodes until every node
 // satisfies the admission constraint or no feasible move remains. It
-// returns the number of migrations performed.
+// returns the number of migrations performed. A node whose VMs have no
+// feasible target (or whose migration fails) does not abort the sweep:
+// later overloaded nodes are still processed, and the stranded moves
+// are reported joined in the returned error alongside the count of
+// migrations that did commit.
 func (c *Cluster) Rebalance() (int, error) {
 	moved := 0
+	var errs []error
 	for _, idx := range c.Overloaded() {
 		n := c.nodes[idx]
 		// Move smallest-demand VMs first: they are the cheapest to
@@ -587,15 +673,17 @@ func (c *Cluster) Rebalance() (int, error) {
 			}
 			target := c.bestTarget(n.deployed[name].template, idx)
 			if target == -1 {
-				return moved, fmt.Errorf("cluster: node %d overloaded and no migration target for %q", idx, name)
+				errs = append(errs, fmt.Errorf("cluster: node %d overloaded and no migration target for %q", idx, name))
+				break
 			}
-			if err := c.Migrate(name, target); err != nil {
-				return moved, err
+			if _, err := c.Migrate(name, target); err != nil {
+				errs = append(errs, err)
+				break
 			}
 			moved++
 		}
 	}
-	return moved, nil
+	return moved, errors.Join(errs...)
 }
 
 // bestTarget picks the BestFit migration target for tpl among the
@@ -837,10 +925,13 @@ func (c *Cluster) stepNode(n *Node, period int64) {
 
 // evacuate moves every VM off a failed node, choosing BestFit targets
 // among the surviving nodes so the Eq. 7 feasibility of every target is
-// preserved. VMs with no feasible target (or whose migration fails) stay
-// stranded on the failed node; because the node stays marked failed,
-// they are retried every Step until capacity appears or the node
-// recovers.
+// preserved. Evacuation goes through Migrate's prepare→commit path, so
+// an evacuated VM keeps its credit wallet, histories and breaker state
+// (ExportVM reads nothing from the failed host), and a mid-evacuation
+// failure leaves the VM on the source. VMs with no feasible target (or
+// whose migration fails) stay stranded on the failed node; because the
+// node stays marked failed, they are retried every Step until capacity
+// appears or the node recovers.
 func (c *Cluster) evacuate(n *Node) (evacuated, stranded int) {
 	for _, name := range n.VMs() {
 		d := n.deployed[name]
@@ -849,7 +940,7 @@ func (c *Cluster) evacuate(n *Node) (evacuated, stranded int) {
 			stranded++
 			continue
 		}
-		if err := c.Migrate(name, target); err != nil {
+		if _, err := c.Migrate(name, target); err != nil {
 			stranded++
 			continue
 		}

@@ -162,8 +162,8 @@ func TestMigratePreservesWorkloadProgress(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Migrate("a", 1); err != nil {
-		t.Fatal(err)
+	if moved, err := c.Migrate("a", 1); err != nil || !moved {
+		t.Fatalf("moved=%v err=%v", moved, err)
 	}
 	if c.Locate("a") != 1 {
 		t.Fatal("VM not on target")
@@ -189,17 +189,17 @@ func TestMigratePreservesWorkloadProgress(t *testing.T) {
 
 func TestMigrateValidation(t *testing.T) {
 	c := twoNodeCluster(t)
-	if err := c.Migrate("ghost", 1); err == nil {
+	if _, err := c.Migrate("ghost", 1); err == nil {
 		t.Fatal("migrating unknown VM succeeded")
 	}
 	if _, err := c.Deploy("a", vm.Small(), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Migrate("a", 9); err == nil {
+	if _, err := c.Migrate("a", 9); err == nil {
 		t.Fatal("migrating to unknown node succeeded")
 	}
-	if err := c.Migrate("a", 0); err != nil {
-		t.Fatal("no-op migration errored")
+	if moved, err := c.Migrate("a", 0); err != nil || moved {
+		t.Fatalf("no-op migration: moved=%v err=%v, want false, nil", moved, err)
 	}
 	if c.Migrations() != 0 {
 		t.Fatal("no-op migration counted")

@@ -18,6 +18,14 @@ type clusterMetrics struct {
 	stranded   *metrics.Counter
 	migrations *metrics.Counter
 
+	// Migration outcome counters (see MigrationStats), incremented
+	// inline by Migrate — off the Step hot path, atomic and
+	// allocation-free like every other record path.
+	migAttempted    *metrics.Counter
+	migCommitted    *metrics.Counter
+	migRolledBack   *metrics.Counter
+	migStateCarried *metrics.Counter
+
 	nodes         *metrics.Gauge
 	usedNodes     *metrics.Gauge
 	failedNodes   *metrics.Gauge
@@ -54,6 +62,14 @@ func (c *Cluster) ArmMetrics(reg *metrics.Registry) {
 	m.evacuated = reg.Counter("vfreq_cluster_evacuated_vms_total", "VMs moved off failed nodes.")
 	m.stranded = reg.Counter("vfreq_cluster_stranded_vm_steps_total", "VM-steps stuck on failed nodes with no feasible target.")
 	m.migrations = reg.Counter("vfreq_cluster_migrations_total", "VM migrations (rebalances and evacuations).")
+	m.migAttempted = reg.Counter("vfreq_cluster_migration_attempted_total",
+		"Migrations attempted (validated non-no-op Migrate calls).")
+	m.migCommitted = reg.Counter("vfreq_cluster_migration_committed_total",
+		"Migrations committed (the VM runs on the target).")
+	m.migRolledBack = reg.Counter("vfreq_cluster_migration_rolled_back_total",
+		"Migrations rolled back (prepared target destroyed after a source-side failure).")
+	m.migStateCarried = reg.Counter("vfreq_cluster_migration_state_carried_total",
+		"Committed migrations whose controller state was adopted on the target.")
 	m.nodes = reg.Gauge("vfreq_cluster_nodes", "Managed nodes.")
 	m.usedNodes = reg.Gauge("vfreq_cluster_used_nodes", "Nodes hosting at least one VM.")
 	m.failedNodes = reg.Gauge("vfreq_cluster_failed_nodes", "Nodes unreachable or marked failed.")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"testing"
 )
@@ -202,6 +203,69 @@ func FuzzAuction(f *testing.F) {
 		if leftA != leftB || capsA != capsB || credA != credB {
 			t.Fatalf("serial vs sharded(%d) aggregates diverged: left %d/%d caps %d/%d credits %d/%d",
 				shards, leftA, leftB, capsA, capsB, credA, credB)
+		}
+	})
+}
+
+// FuzzAdoptVM feeds arbitrary JSON through the migration adoption path
+// on a live controller. The property is the same crash-safety contract
+// DecodeSnapshot honours: a malformed snapshot must never panic or
+// corrupt the target — on error the controller is unchanged, and on
+// success the adopted VM re-exports as a snapshot the validator accepts.
+func FuzzAdoptVM(f *testing.F) {
+	h := newFakeHost()
+	h.addVM("web", 2, 1200)
+	if c, err := New(h, DefaultConfig()); err == nil {
+		for i := 0; i < 3; i++ {
+			h.consume("web", 0, 200_000)
+			h.consume("web", 1, 150_000)
+			if err := c.Step(); err != nil {
+				break
+			}
+		}
+		if snap, err := c.ExportVM("web"); err == nil {
+			if raw, err := json.Marshal(snap); err == nil {
+				f.Add(raw)
+			}
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"web"}`))
+	f.Add([]byte(`{"name":"web","freq_mhz":1200,"credit_us":-5}`))
+	f.Add([]byte(`{"name":"web","freq_mhz":1200,"breaker":1}`)) // open, no window
+	f.Add([]byte(`{"name":"web","freq_mhz":1200,"vcpus":[{"index":3}]}`))
+	f.Add([]byte(`{"name":"ghost","freq_mhz":1200}`)) // not provisioned
+	f.Add([]byte(`{"name":"web","freq_mhz":99999}`))  // above F_MAX
+	f.Add([]byte(`{"name":"web","freq_mhz":1200,"vcpus":[{"index":0,"hist":[-1]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var snap VMSnapshot
+		// Partial decodes still stress the validator: adopt whatever the
+		// decoder managed to fill in before erroring.
+		_ = json.Unmarshal(data, &snap)
+
+		tgt := newFakeHost()
+		tgt.addVM("web", 2, 1200)
+		ct, err := New(tgt, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ct.AdoptVM(snap); err != nil { // must not panic
+			if ct.VM(snap.Name) != nil {
+				t.Fatalf("failed adoption left %q tracked", snap.Name)
+			}
+			return
+		}
+		re, err := ct.ExportVM(snap.Name)
+		if err != nil {
+			t.Fatalf("adopted VM does not re-export: %v", err)
+		}
+		node := tgt.Node()
+		if err := validateVMSnapshot(re, node.MaxFreqMHz, DefaultConfig().PeriodUs); err != nil {
+			t.Fatalf("adopted VM re-exports an invalid snapshot: %v", err)
+		}
+		if err := ct.Step(); err != nil {
+			t.Fatalf("controller cannot step after adoption: %v", err)
 		}
 	})
 }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripBaselines zeroes the fields a migration documents as not carried:
+// the usage baseline restarts with the target's counters and the thread
+// pin is re-read live. Everything else must round-trip bit-identically.
+func stripBaselines(vs VMSnapshot) VMSnapshot {
+	out := vs
+	out.VCPUs = append([]VCPUSnapshot(nil), vs.VCPUs...)
+	for i := range out.VCPUs {
+		out.VCPUs[i].PrevUsageUs = 0
+	}
+	return out
+}
+
+// Export on the source, adopt on a fresh host: the re-export from the
+// target must be bit-identical modulo the documented counter reset.
+func TestExportAdoptRoundTrip(t *testing.T) {
+	src := newFakeHost()
+	src.addVM("a", 2, 1200)
+	cs := mustController(t, src, DefaultConfig())
+	warmUp(t, cs, src, 5, 300_000) // under the 500 µs guarantee: credit accrues
+
+	snap, err := cs.ExportVM("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.CreditUs <= 0 {
+		t.Fatalf("source earned no credit (%d); the round trip would prove nothing", snap.CreditUs)
+	}
+	if len(snap.VCPUs) != 2 || snap.VCPUs[0].Hist == nil {
+		t.Fatalf("export carried no history: %+v", snap)
+	}
+
+	tgt := newFakeHost()
+	tgt.addVM("b", 1, 500) // the target controller is live and busy
+	ct := mustController(t, tgt, DefaultConfig())
+	warmUp(t, ct, tgt, 2, 100_000)
+	tgt.addVM("a", 2, 1200) // "provisioned": fresh usage counters at 0
+	if err := ct.AdoptVM(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	st := ct.VM("a")
+	if st == nil {
+		t.Fatal("target does not track the adopted VM")
+	}
+	if st.CreditUs != snap.CreditUs {
+		t.Fatalf("credit %d after adoption, exported %d", st.CreditUs, snap.CreditUs)
+	}
+	for _, v := range st.VCPUs {
+		if v.PrevUsageUs != 0 {
+			t.Fatalf("vcpu%d baseline %d, want 0 (target counters restart)", v.Index, v.PrevUsageUs)
+		}
+	}
+	re, err := ct.ExportVM("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripBaselines(re), stripBaselines(snap); !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-export diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// The documented counter reset: the first post-adoption monitor delta
+// spans target readings only — no negative value, no multi-period
+// artefact from the source's much larger cumulative counter.
+func TestAdoptFreshCounterFirstDelta(t *testing.T) {
+	src := newFakeHost()
+	src.addVM("a", 1, 1200)
+	cs := mustController(t, src, DefaultConfig())
+	warmUp(t, cs, src, 8, 450_000) // source counter ends at 3.6 s
+
+	snap, err := cs.ExportVM("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newFakeHost()
+	tgt.addVM("a", 1, 1200)
+	ct := mustController(t, tgt, DefaultConfig())
+	if err := ct.AdoptVM(snap); err != nil {
+		t.Fatal(err)
+	}
+	tgt.consume("a", 0, 123_456)
+	if err := ct.Step(); err != nil {
+		t.Fatal(err)
+	}
+	v := ct.VM("a").VCPUs[0]
+	if v.LastU != 123_456 {
+		t.Fatalf("first post-adoption delta %d, want 123456", v.LastU)
+	}
+	if v.Degraded {
+		t.Fatal("adopted vCPU degraded on a clean first step")
+	}
+}
+
+// A degraded vCPU carries its failure counters across the move, so the
+// recovery streak does not restart from zero on the target.
+func TestAdoptDegradedVCPUCarryover(t *testing.T) {
+	snap := VMSnapshot{
+		Name: "a", FreqMHz: 1200, GuaranteeUs: 500_000, CreditUs: 40_000,
+		VCPUs: []VCPUSnapshot{{
+			Index: 0, ConsumedUs: 200_000, CapUs: 500_000, EstimateUs: 300_000,
+			Hist: []int64{200_000, 210_000}, Degraded: true, FailedSteps: 3,
+		}},
+	}
+	tgt := newFakeHost()
+	tgt.addVM("a", 1, 1200)
+	ct := mustController(t, tgt, DefaultConfig())
+	if err := ct.AdoptVM(snap); err != nil {
+		t.Fatal(err)
+	}
+	v := ct.VM("a").VCPUs[0]
+	if !v.Degraded || v.FailedSteps != 3 {
+		t.Fatalf("degradation not carried: Degraded=%v FailedSteps=%d", v.Degraded, v.FailedSteps)
+	}
+}
+
+// A quarantined VM (open breaker) is adopted with no host reads, stays
+// quarantined for its remaining window, and resumes the open→half-open
+// walk on the target exactly where the source left it.
+func TestAdoptQuarantinedStaysQuarantined(t *testing.T) {
+	snap := VMSnapshot{
+		Name: "a", FreqMHz: 1200, GuaranteeUs: 500_000, CreditUs: 10_000,
+		Breaker: int(BreakerOpen), BreakerFaultStreak: 3, BreakerOpenLeft: 2,
+		VCPUs: []VCPUSnapshot{{
+			Index: 0, ConsumedUs: 100_000, CapUs: 500_000, EstimateUs: 100_000,
+			PrevUsageUs: 7_000_000, // stale source baseline: must be discarded
+		}},
+	}
+	cfg := DefaultConfig()
+	cfg.BreakerThreshold = 3
+	cfg.BreakerOpenSteps = 4
+	tgt := newFakeHost()
+	tgt.addVM("a", 1, 1200)
+	ct := mustController(t, tgt, cfg)
+	if err := ct.AdoptVM(snap); err != nil {
+		t.Fatal(err)
+	}
+	st := ct.VM("a")
+	if st.Breaker.State != BreakerOpen || st.Breaker.OpenLeft != 2 {
+		t.Fatalf("breaker not carried: %+v", st.Breaker)
+	}
+	if st.VCPUs[0].PrevUsageUs != 0 {
+		t.Fatalf("quarantined baseline %d, want 0 (target counters restart)", st.VCPUs[0].PrevUsageUs)
+	}
+	// Two quarantine steps, then the half-open probe on the target.
+	for i := 0; i < 2; i++ {
+		if err := ct.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ct.VM("a").Breaker.State; got != BreakerHalfOpen {
+		t.Fatalf("breaker %v after the open window elapsed, want half-open", got)
+	}
+}
+
+// A half-open probe in flight keeps its clean streak, so the target
+// re-admits the VM on the same step the source would have.
+func TestAdoptHalfOpenProbeContinues(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BreakerThreshold = 3
+	cfg.BreakerOpenSteps = 4
+	cfg.RecoverySteps = 2
+	snap := VMSnapshot{
+		Name: "a", FreqMHz: 1200, GuaranteeUs: 500_000,
+		Breaker: int(BreakerHalfOpen), BreakerProbeClean: 1,
+		VCPUs: []VCPUSnapshot{{
+			Index: 0, ConsumedUs: 100_000, CapUs: 500_000, EstimateUs: 100_000,
+			Hist: []int64{100_000},
+		}},
+	}
+	tgt := newFakeHost()
+	tgt.addVM("a", 1, 1200)
+	ct := mustController(t, tgt, cfg)
+	if err := ct.AdoptVM(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st := ct.VM("a"); st.Breaker.State != BreakerHalfOpen || st.Breaker.ProbeClean != 1 {
+		t.Fatalf("probe state not carried: %+v", st.Breaker)
+	}
+	// One clean probe completes the RecoverySteps=2 streak.
+	tgt.consume("a", 0, 100_000)
+	if err := ct.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.VM("a").Breaker.State; got != BreakerClosed {
+		t.Fatalf("breaker %v after the completing probe, want closed", got)
+	}
+}
+
+func TestAdoptVMValidation(t *testing.T) {
+	tgt := newFakeHost()
+	tgt.addVM("a", 1, 1200)
+	ct := mustController(t, tgt, DefaultConfig())
+	ok := VMSnapshot{Name: "a", FreqMHz: 1200, GuaranteeUs: 500_000,
+		VCPUs: []VCPUSnapshot{{Index: 0}}}
+
+	bad := ok
+	bad.FreqMHz = 0
+	if err := ct.AdoptVM(bad); err == nil {
+		t.Fatal("zero-frequency snapshot adopted")
+	}
+	bad = ok
+	bad.CreditUs = -1
+	if err := ct.AdoptVM(bad); err == nil {
+		t.Fatal("negative credit adopted")
+	}
+	ghost := ok
+	ghost.Name = "ghost"
+	if err := ct.AdoptVM(ghost); err == nil || !strings.Contains(err.Error(), "not on this host") {
+		t.Fatalf("adopting an unprovisioned VM: %v", err)
+	}
+	if err := ct.AdoptVM(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.AdoptVM(ok); err == nil {
+		t.Fatal("double adoption accepted")
+	}
+}
+
+// An oversized wallet is re-clamped under the target's credit cap, and a
+// VM that grew between export and adoption gets fresh vCPUs for the new
+// indexes.
+func TestAdoptClampsCreditAndGrows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CreditCapPeriods = 2
+	tgt := newFakeHost()
+	tgt.addVM("a", 2, 1200) // grew: the snapshot knows one vCPU
+	ct := mustController(t, tgt, cfg)
+	snap := VMSnapshot{Name: "a", FreqMHz: 1200, GuaranteeUs: 500_000,
+		CreditUs: 1 << 40,
+		VCPUs:    []VCPUSnapshot{{Index: 0, ConsumedUs: 100_000, Hist: []int64{100_000}}}}
+	if err := ct.AdoptVM(snap); err != nil {
+		t.Fatal(err)
+	}
+	st := ct.VM("a")
+	wantCap := cfg.CreditCapPeriods * 500_000 * 2
+	if st.CreditUs != wantCap {
+		t.Fatalf("credit %d, want clamped to %d", st.CreditUs, wantCap)
+	}
+	if len(st.VCPUs) != 2 {
+		t.Fatalf("tracked %d vCPUs, want 2", len(st.VCPUs))
+	}
+	if st.VCPUs[0].Hist.Len() != 1 || st.VCPUs[1].Hist.Len() != 0 {
+		t.Fatal("history mixed up between carried and grown vCPUs")
+	}
+}
+
+func TestForgetVM(t *testing.T) {
+	h := newFakeHost()
+	h.addVM("a", 1, 1200)
+	h.addVM("b", 1, 1200)
+	c := mustController(t, h, DefaultConfig())
+	warmUp(t, c, h, 1, 100_000)
+	if !c.ForgetVM("a") {
+		t.Fatal("tracked VM not forgotten")
+	}
+	if c.ForgetVM("a") {
+		t.Fatal("double forget reported success")
+	}
+	if c.VM("a") != nil {
+		t.Fatal("forgotten VM still tracked")
+	}
+	if len(h.cleared) != 0 {
+		t.Fatalf("ForgetVM touched the host: cleared %v", h.cleared)
+	}
+	// The survivor is unaffected and the controller keeps stepping.
+	if c.VM("b") == nil {
+		t.Fatal("unrelated VM lost")
+	}
+	// The host still lists "a" (core-level forget without a manager
+	// destroy), so the next sync re-registers it cold — fresh wallet.
+	warmUp(t, c, h, 1, 100_000)
+	if st := c.VM("a"); st == nil || st.CreditUs != 0 {
+		t.Fatalf("re-registration not cold: %+v", st)
+	}
+}

@@ -88,44 +88,52 @@ func (c *Controller) Snapshot() Snapshot {
 		Faults:           c.report.FaultCount(),
 	}
 	for _, name := range c.order {
-		st := c.vms[name]
-		vs := VMSnapshot{
-			Name:               st.Info.Name,
-			FreqMHz:            st.Info.FreqMHz,
-			GuaranteeUs:        st.GuaranteeUs,
-			CreditUs:           st.CreditUs,
-			Breaker:            int(st.Breaker.State),
-			BreakerFaultStreak: st.Breaker.FaultStreak,
-			BreakerOpenLeft:    st.Breaker.OpenLeft,
-			BreakerProbeClean:  st.Breaker.ProbeClean,
-		}
-		for _, v := range st.VCPUs {
-			// nil (not empty) when there are no samples, so that the
-			// omitempty encoding round-trips to an identical value.
-			var hist []int64
-			for i := 0; i < v.Hist.Len(); i++ {
-				hist = append(hist, v.Hist.At(i))
-			}
-			vs.VCPUs = append(vs.VCPUs, VCPUSnapshot{
-				Index:       v.Index,
-				TID:         v.TID,
-				LastCore:    v.LastCore,
-				ConsumedUs:  v.LastU,
-				CapUs:       v.CapUs,
-				EstimateUs:  v.EstUs,
-				VirtFreqMHz: v.FreqMHz,
-				PrevUsageUs: v.PrevUsageUs,
-				Hist:        hist,
-				Warm:        v.warm,
-				Degraded:    v.Degraded,
-				FailedSteps: v.FailedSteps,
-				CleanSteps:  v.CleanSteps,
-			})
+		vs := vmSnapshot(c.vms[name])
+		for _, v := range vs.VCPUs {
 			s.TotalCapUs += v.CapUs
 		}
 		s.VMs = append(s.VMs, vs)
 	}
 	return s
+}
+
+// vmSnapshot captures one VM's controller state — the unit both the
+// whole-node Snapshot and the migration-time ExportVM serialise.
+func vmSnapshot(st *VMState) VMSnapshot {
+	vs := VMSnapshot{
+		Name:               st.Info.Name,
+		FreqMHz:            st.Info.FreqMHz,
+		GuaranteeUs:        st.GuaranteeUs,
+		CreditUs:           st.CreditUs,
+		Breaker:            int(st.Breaker.State),
+		BreakerFaultStreak: st.Breaker.FaultStreak,
+		BreakerOpenLeft:    st.Breaker.OpenLeft,
+		BreakerProbeClean:  st.Breaker.ProbeClean,
+	}
+	for _, v := range st.VCPUs {
+		// nil (not empty) when there are no samples, so that the
+		// omitempty encoding round-trips to an identical value.
+		var hist []int64
+		for i := 0; i < v.Hist.Len(); i++ {
+			hist = append(hist, v.Hist.At(i))
+		}
+		vs.VCPUs = append(vs.VCPUs, VCPUSnapshot{
+			Index:       v.Index,
+			TID:         v.TID,
+			LastCore:    v.LastCore,
+			ConsumedUs:  v.LastU,
+			CapUs:       v.CapUs,
+			EstimateUs:  v.EstUs,
+			VirtFreqMHz: v.FreqMHz,
+			PrevUsageUs: v.PrevUsageUs,
+			Hist:        hist,
+			Warm:        v.warm,
+			Degraded:    v.Degraded,
+			FailedSteps: v.FailedSteps,
+			CleanSteps:  v.CleanSteps,
+		})
+	}
+	return vs
 }
 
 // JSON renders the snapshot.
@@ -162,50 +170,64 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q duplicated", vm.Name)
 		}
 		seen[vm.Name] = true
-		if vm.FreqMHz <= 0 || vm.FreqMHz > s.MaxFreqMHz {
-			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q frequency %d MHz outside (0, %d]",
-				vm.Name, vm.FreqMHz, s.MaxFreqMHz)
-		}
-		if vm.GuaranteeUs < 0 || vm.GuaranteeUs > s.PeriodUs {
-			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q guarantee %d outside [0, period]",
-				vm.Name, vm.GuaranteeUs)
-		}
-		if vm.CreditUs < 0 {
-			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q credit %d is negative",
-				vm.Name, vm.CreditUs)
-		}
-		if vm.Breaker < int(BreakerClosed) || vm.Breaker > int(BreakerHalfOpen) {
-			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q breaker phase %d unknown",
-				vm.Name, vm.Breaker)
-		}
-		if vm.BreakerFaultStreak < 0 || vm.BreakerOpenLeft < 0 || vm.BreakerProbeClean < 0 {
-			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q has negative breaker counters",
-				vm.Name)
-		}
-		if vm.Breaker == int(BreakerOpen) && vm.BreakerOpenLeft < 1 {
-			return Snapshot{}, fmt.Errorf("core: checkpoint VM %q breaker open with no quarantine steps left",
-				vm.Name)
-		}
-		for j, v := range vm.VCPUs {
-			if v.Index != j {
-				return Snapshot{}, fmt.Errorf("core: checkpoint VM %q vCPU %d has index %d, want positional",
-					vm.Name, j, v.Index)
-			}
-			if v.CapUs < 0 || v.EstimateUs < 0 || v.ConsumedUs < 0 || v.PrevUsageUs < 0 {
-				return Snapshot{}, fmt.Errorf("core: checkpoint %s/vcpu%d has negative accounting",
-					vm.Name, v.Index)
-			}
-			if v.FailedSteps < 0 || v.CleanSteps < 0 {
-				return Snapshot{}, fmt.Errorf("core: checkpoint %s/vcpu%d has negative step counters",
-					vm.Name, v.Index)
-			}
-			for _, u := range v.Hist {
-				if u < 0 {
-					return Snapshot{}, fmt.Errorf("core: checkpoint %s/vcpu%d has negative history sample",
-						vm.Name, v.Index)
-				}
-			}
+		if err := validateVMSnapshot(vm, s.MaxFreqMHz, s.PeriodUs); err != nil {
+			return Snapshot{}, err
 		}
 	}
 	return s, nil
+}
+
+// validateVMSnapshot checks one VM entry's semantic invariants against a
+// node shape (F_MAX, control period) — shared by DecodeSnapshot for
+// whole checkpoints and by AdoptVM for the single-VM snapshots a
+// migration carries. It never panics on malformed input.
+func validateVMSnapshot(vm VMSnapshot, maxFreqMHz, periodUs int64) error {
+	if vm.Name == "" {
+		return fmt.Errorf("core: checkpoint VM has no name")
+	}
+	if vm.FreqMHz <= 0 || vm.FreqMHz > maxFreqMHz {
+		return fmt.Errorf("core: checkpoint VM %q frequency %d MHz outside (0, %d]",
+			vm.Name, vm.FreqMHz, maxFreqMHz)
+	}
+	if vm.GuaranteeUs < 0 || vm.GuaranteeUs > periodUs {
+		return fmt.Errorf("core: checkpoint VM %q guarantee %d outside [0, period]",
+			vm.Name, vm.GuaranteeUs)
+	}
+	if vm.CreditUs < 0 {
+		return fmt.Errorf("core: checkpoint VM %q credit %d is negative",
+			vm.Name, vm.CreditUs)
+	}
+	if vm.Breaker < int(BreakerClosed) || vm.Breaker > int(BreakerHalfOpen) {
+		return fmt.Errorf("core: checkpoint VM %q breaker phase %d unknown",
+			vm.Name, vm.Breaker)
+	}
+	if vm.BreakerFaultStreak < 0 || vm.BreakerOpenLeft < 0 || vm.BreakerProbeClean < 0 {
+		return fmt.Errorf("core: checkpoint VM %q has negative breaker counters",
+			vm.Name)
+	}
+	if vm.Breaker == int(BreakerOpen) && vm.BreakerOpenLeft < 1 {
+		return fmt.Errorf("core: checkpoint VM %q breaker open with no quarantine steps left",
+			vm.Name)
+	}
+	for j, v := range vm.VCPUs {
+		if v.Index != j {
+			return fmt.Errorf("core: checkpoint VM %q vCPU %d has index %d, want positional",
+				vm.Name, j, v.Index)
+		}
+		if v.CapUs < 0 || v.EstimateUs < 0 || v.ConsumedUs < 0 || v.PrevUsageUs < 0 {
+			return fmt.Errorf("core: checkpoint %s/vcpu%d has negative accounting",
+				vm.Name, v.Index)
+		}
+		if v.FailedSteps < 0 || v.CleanSteps < 0 {
+			return fmt.Errorf("core: checkpoint %s/vcpu%d has negative step counters",
+				vm.Name, v.Index)
+		}
+		for _, u := range v.Hist {
+			if u < 0 {
+				return fmt.Errorf("core: checkpoint %s/vcpu%d has negative history sample",
+					vm.Name, v.Index)
+			}
+		}
+	}
+	return nil
 }
